@@ -1,0 +1,354 @@
+// Benchmarks mirroring the paper's evaluation artifacts, one per
+// figure/claim (the E-ids of DESIGN.md). `go test -bench=. -benchmem`
+// measures the real Go costs behind each experiment; cmd/trimbench prints
+// the corresponding tables.
+package trimgrad
+
+import (
+	"fmt"
+	"testing"
+
+	"trimgrad/internal/collective"
+	"trimgrad/internal/core"
+	"trimgrad/internal/ddp"
+	"trimgrad/internal/fwht"
+	"trimgrad/internal/lowrank"
+	"trimgrad/internal/ml"
+	"trimgrad/internal/netsim"
+	"trimgrad/internal/quant"
+	"trimgrad/internal/sparse"
+	"trimgrad/internal/transport"
+	"trimgrad/internal/wire"
+	"trimgrad/internal/xrand"
+)
+
+func benchRow(n int) []float32 {
+	r := xrand.New(1)
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = float32(r.NormFloat64() * 0.05)
+	}
+	return v
+}
+
+var benchSchemes = []quant.Params{
+	{Scheme: quant.Sign},
+	{Scheme: quant.SQ},
+	{Scheme: quant.SD},
+	{Scheme: quant.RHT},
+	{Scheme: quant.RHTLinear, P: 8},
+}
+
+// BenchmarkFig5Encode measures per-scheme encode cost on a paper-sized
+// (2^15) row — the "encoding overhead" component of Figure 5 / §4.4,
+// including the RHT-vs-scalar ratio the paper reports as ≈1.18×.
+func BenchmarkFig5Encode(b *testing.B) {
+	row := benchRow(fwht.DefaultRowSize)
+	for _, p := range benchSchemes {
+		c := quant.MustNew(p)
+		b.Run(c.Name(), func(b *testing.B) {
+			b.SetBytes(int64(len(row) * 4))
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Encode(row, uint64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig5Decode measures fully-trimmed decode cost per scheme (the
+// receiver-side half of the hook overhead).
+func BenchmarkFig5Decode(b *testing.B) {
+	row := benchRow(fwht.DefaultRowSize)
+	trimmed := quant.AllTrimmed(len(row))
+	for _, p := range benchSchemes {
+		c := quant.MustNew(p)
+		enc, err := c.Encode(row, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(c.Name(), func(b *testing.B) {
+			b.SetBytes(int64(len(row) * 4))
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Decode(enc, nil, trimmed); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig3TrainingRound measures one full data-parallel training
+// round (forward, backward, encode, inject 10% trimming, decode, step)
+// per scheme — the unit of Figure 3/4's wall-clock axis.
+func BenchmarkFig3TrainingRound(b *testing.B) {
+	train, test := ml.Synthetic(ml.SyntheticConfig{
+		Classes: 20, Dim: 32, Train: 256, Test: 10, Seed: 3,
+	})
+	type cse struct {
+		name string
+		sp   *quant.Params
+	}
+	cases := []cse{{"baseline", nil}}
+	for i := range benchSchemes {
+		sc := benchSchemes[i]
+		name := sc.Scheme.String()
+		if sc.P > 1 {
+			name = fmt.Sprintf("%s-p%d", name, sc.P)
+		}
+		cases = append(cases, cse{name, &sc})
+	}
+	for _, c := range cases {
+		sp := c.sp
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tr, err := ddp.New(ddp.Config{
+					Workers: 2, Epochs: 1, Seed: 1, Batch: 128,
+					Scheme: sp, TrimRate: 0.1, RowSize: 1 << 10,
+				}, train, test, 32)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := tr.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig4Exchange measures the encode→inject→decode gradient
+// exchange alone at Figure 4's extreme trim rates.
+func BenchmarkFig4Exchange(b *testing.B) {
+	grad := benchRow(1 << 16)
+	for _, rate := range []float64{0.01, 0.5} {
+		cfg := core.Config{Params: quant.Params{Scheme: quant.RHT}, RowSize: 1 << 13}
+		enc, err := core.NewEncoder(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("rht-trim%g", rate), func(b *testing.B) {
+			b.SetBytes(int64(len(grad) * 4))
+			for i := 0; i < b.N; i++ {
+				msg, err := enc.Encode(1, uint32(i+1), grad)
+				if err != nil {
+					b.Fatal(err)
+				}
+				dec, err := core.NewDecoder(cfg, uint32(i+1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, m := range msg.Meta {
+					if err := dec.Handle(m); err != nil {
+						b.Fatal(err)
+					}
+				}
+				inj := core.NewTrimmer(rate, uint64(i))
+				for _, d := range msg.Data {
+					if err := dec.Handle(inj.Apply(d)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, _, err := dec.Reconstruct(len(grad)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE4ReliableUnderLoss measures a full reliable-transport message
+// delivery over the simulated fabric at the §4.4 loss rates.
+func BenchmarkE4ReliableUnderLoss(b *testing.B) {
+	grad := benchRow(1 << 14)
+	for _, rate := range []float64{0, 0.01} {
+		b.Run(fmt.Sprintf("loss%g", rate), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sim := netsim.NewSim()
+				star := netsim.BuildStar(sim, 2,
+					netsim.LinkConfig{Bandwidth: netsim.Gbps(10), Delay: 5 * netsim.Microsecond},
+					netsim.QueueConfig{CapacityBytes: 1 << 20, LossRate: rate, LossSeed: uint64(i)})
+				a := transport.NewStack(star.Hosts[0], transport.Config{})
+				rx := transport.NewStack(star.Hosts[1], transport.Config{})
+				rx.Receiver = transport.ReceiverFunc(func(netsim.NodeID, []byte) {})
+				enc, _ := core.NewEncoder(core.Config{Params: quant.Params{Scheme: quant.Sign}})
+				msg, _ := enc.Encode(1, 1, grad)
+				payloads := append(append([][]byte{}, msg.Meta...), msg.Data...)
+				done := false
+				a.SendReliable(1, 1, payloads, func(netsim.Time) { done = true }, nil)
+				sim.RunUntil(30 * netsim.Second)
+				if !done {
+					b.Fatal("message did not complete")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE5WirePack measures packetization + switch trim of one row —
+// the data path of the §2 arithmetic.
+func BenchmarkE5WirePack(b *testing.B) {
+	row := benchRow(1 << 13)
+	c := quant.MustNew(quant.Params{Scheme: quant.Sign})
+	enc, err := c.Encode(row, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, data, err := wire.PackRow(1, 1, 0, enc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pkt := range data {
+			wire.Trim(pkt, 0)
+		}
+	}
+}
+
+// BenchmarkE6LayoutAssign measures the magnitude-sorted packet assignment
+// of the Figure 2 layout study.
+func BenchmarkE6LayoutAssign(b *testing.B) {
+	v := benchRow(1 << 14)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sparse.AssignSorted(v, 354)
+	}
+}
+
+// BenchmarkE7MultiLevelEncode measures the multi-bit (P = 8) head encoder
+// of §5.1 against the 1-bit RHT.
+func BenchmarkE7MultiLevelEncode(b *testing.B) {
+	row := benchRow(1 << 13)
+	for _, p := range []quant.Params{{Scheme: quant.RHT}, {Scheme: quant.RHTLinear, P: 8}} {
+		c := quant.MustNew(p)
+		b.Run(c.Name(), func(b *testing.B) {
+			b.SetBytes(int64(len(row) * 4))
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Encode(row, uint64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE8Incast runs a full 8-way incast simulation per mode — the
+// motivation experiment.
+func BenchmarkE8Incast(b *testing.B) {
+	grad := benchRow(1 << 13)
+	for _, mode := range []netsim.QueueMode{netsim.DropTail, netsim.TrimOverflow} {
+		name := "drop"
+		if mode == netsim.TrimOverflow {
+			name = "trim"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sim := netsim.NewSim()
+				star := netsim.BuildStar(sim, 9,
+					netsim.LinkConfig{Bandwidth: netsim.Gbps(10), Delay: 5 * netsim.Microsecond},
+					netsim.QueueConfig{CapacityBytes: 64 << 10, HighCapacityBytes: 512 << 10, Mode: mode})
+				rx := transport.NewStack(star.Hosts[8], transport.Config{})
+				rx.Receiver = transport.ReceiverFunc(func(netsim.NodeID, []byte) {})
+				completed := 0
+				for s := 0; s < 8; s++ {
+					st := transport.NewStack(star.Hosts[s], transport.Config{})
+					enc, _ := core.NewEncoder(core.Config{
+						Params: quant.Params{Scheme: quant.RHT}, RowSize: 1 << 12, Flow: uint32(s),
+					})
+					msg, _ := enc.Encode(1, uint32(s+1), grad)
+					onDone := func(netsim.Time) { completed++ }
+					if mode == netsim.TrimOverflow {
+						st.SendTrimmable(8, uint32(s+1), msg.Meta, msg.Data, onDone, nil)
+					} else {
+						payloads := append(append([][]byte{}, msg.Meta...), msg.Data...)
+						st.SendReliable(8, uint32(s+1), payloads, onDone, nil)
+					}
+				}
+				sim.RunUntil(30 * netsim.Second)
+				if completed != 8 {
+					b.Fatalf("completed %d/8", completed)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE9PowerSGD measures rank-4 PowerSGD compression of a
+// 256×256 gradient matrix (§5.2).
+func BenchmarkE9PowerSGD(b *testing.B) {
+	m := lowrank.Matrix{Rows: 256, Cols: 256, Data: benchRow(256 * 256)}
+	c := lowrank.NewCompressor(4, 1)
+	b.SetBytes(int64(len(m.Data) * 4))
+	for i := 0; i < b.N; i++ {
+		f := c.Compress(m)
+		lowrank.Decode(f, 4)
+	}
+}
+
+// BenchmarkE10FSDPGather measures a 4-way all-gather of model shards over
+// the simulated fabric (§5.5).
+func BenchmarkE10FSDPGather(b *testing.B) {
+	shard := benchRow(1 << 12)
+	shards := [][]float32{shard, shard, shard, shard}
+	for i := 0; i < b.N; i++ {
+		sim := netsim.NewSim()
+		star := netsim.BuildStar(sim, 4,
+			netsim.LinkConfig{Bandwidth: netsim.Gbps(10), Delay: 2 * netsim.Microsecond},
+			netsim.QueueConfig{CapacityBytes: 1 << 20, Mode: netsim.TrimOverflow})
+		workers := make([]*collective.Worker, 4)
+		for w := range workers {
+			stack := transport.NewStack(star.Hosts[w], transport.Config{})
+			wk, err := collective.NewWorker(w, stack, core.Config{
+				Params: quant.Params{Scheme: quant.RHT}, RowSize: 1 << 11,
+			}, collective.Trimmable)
+			if err != nil {
+				b.Fatal(err)
+			}
+			workers[w] = wk
+		}
+		done := 0
+		err := collective.AllGather(1, 10, workers, shards,
+			func(int, [][]float32, netsim.Time) { done++ }, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim.RunUntil(30 * netsim.Second)
+		if done != 4 {
+			b.Fatalf("gathered %d/4", done)
+		}
+	}
+}
+
+// BenchmarkE11TranscriptReplay measures record + replay of one message's
+// packet fates (§5.4).
+func BenchmarkE11TranscriptReplay(b *testing.B) {
+	grad := benchRow(1 << 14)
+	cfg := core.Config{Params: quant.Params{Scheme: quant.RHT}, RowSize: 1 << 12}
+	enc, _ := core.NewEncoder(cfg)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		msg, _ := enc.Encode(1, 1, grad)
+		rec := core.NewRecorder(core.NewTrimmer(0.5, uint64(i)))
+		for _, d := range msg.Data {
+			rec.Apply(append([]byte(nil), d...))
+		}
+		player := core.NewPlayer(&rec.Transcript)
+		msg2, _ := enc.Encode(1, 1, grad)
+		for _, d := range msg2.Data {
+			player.Apply(d)
+		}
+	}
+}
+
+// BenchmarkFWHT measures the fast Walsh-Hadamard transform on the paper's
+// row size (the kernel the fast-hadamard-transform CUDA library provides
+// on the testbed).
+func BenchmarkFWHT(b *testing.B) {
+	v := benchRow(fwht.DefaultRowSize)
+	b.SetBytes(int64(len(v) * 4))
+	for i := 0; i < b.N; i++ {
+		fwht.Transform(v)
+	}
+}

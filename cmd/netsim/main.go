@@ -1,0 +1,124 @@
+// Command netsim runs a standalone network simulation of gradient traffic
+// through a congested fabric and prints flow-completion and queue
+// statistics — the motivation experiments of §1–§2.
+//
+// Examples:
+//
+//	netsim -topology star -senders 8 -mode trim
+//	netsim -topology dumbbell -senders 4 -mode drop -cross 5e5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"trimgrad/internal/core"
+	"trimgrad/internal/netsim"
+	"trimgrad/internal/quant"
+	"trimgrad/internal/transport"
+)
+
+func main() {
+	var (
+		topology = flag.String("topology", "star", "star|dumbbell")
+		senders  = flag.Int("senders", 8, "number of gradient senders")
+		mode     = flag.String("mode", "trim", "switch behaviour: trim|drop")
+		dim      = flag.Int("dim", 1<<16, "gradient coordinates per sender")
+		buffer   = flag.Int("buffer", 64<<10, "switch buffer bytes per port")
+		gbps     = flag.Float64("gbps", 10, "link bandwidth in Gbit/s")
+		cross    = flag.Float64("cross", 0, "cross-traffic rate (packets/s) per sender host")
+		seed     = flag.Uint64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	qcfg := netsim.QueueConfig{
+		CapacityBytes:     *buffer,
+		HighCapacityBytes: 8 * *buffer,
+		Mode:              netsim.DropTail,
+	}
+	if *mode == "trim" {
+		qcfg.Mode = netsim.TrimOverflow
+	}
+	link := netsim.LinkConfig{Bandwidth: netsim.Gbps(*gbps), Delay: 5 * netsim.Microsecond}
+
+	sim := netsim.NewSim()
+	var hosts []*netsim.Host
+	var receiver *netsim.Host
+	var bottleneck *netsim.Port
+	switch *topology {
+	case "star":
+		star := netsim.BuildStar(sim, *senders+1, link, qcfg)
+		hosts = star.Hosts[:*senders]
+		receiver = star.Hosts[*senders]
+		bottleneck = star.Switch.Port(receiver.ID())
+	case "dumbbell":
+		d := netsim.BuildDumbbell(sim, *senders, 1, link, link, qcfg)
+		hosts = d.LeftHosts
+		receiver = d.RightHosts[0]
+		bottleneck = d.Left.Port(d.Right.ID())
+	default:
+		fmt.Fprintf(os.Stderr, "netsim: unknown topology %q\n", *topology)
+		os.Exit(2)
+	}
+
+	rx := transport.NewStack(receiver, transport.Config{})
+	rx.Receiver = transport.ReceiverFunc(func(netsim.NodeID, []byte) {})
+
+	fct := netsim.NewFCTRecorder()
+	completed := 0
+	var stacks []*transport.Stack
+	for i, h := range hosts {
+		s := transport.NewStack(h, transport.Config{})
+		stacks = append(stacks, s)
+		enc, err := core.NewEncoder(core.Config{
+			Params: quant.Params{Scheme: quant.RHT}, RowSize: 1 << 13, Flow: uint32(i),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "netsim:", err)
+			os.Exit(1)
+		}
+		grad := make([]float32, *dim)
+		for j := range grad {
+			grad[j] = float32(j%17) * 0.01
+		}
+		msg, err := enc.Encode(*seed, uint32(i+1), grad)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "netsim:", err)
+			os.Exit(1)
+		}
+		id := uint64(i + 1)
+		fct.FlowStarted(id, 0)
+		onDone := func(at netsim.Time) { completed++; fct.FlowFinished(id, at) }
+		if qcfg.Mode == netsim.TrimOverflow {
+			s.SendTrimmable(receiver.ID(), uint32(i+1), msg.Meta, msg.Data, onDone, nil)
+		} else {
+			payloads := append(append([][]byte{}, msg.Meta...), msg.Data...)
+			s.SendReliable(receiver.ID(), uint32(i+1), payloads, onDone, nil)
+		}
+		if *cross > 0 {
+			ct := netsim.NewCrossTraffic(h, receiver.ID(), 1500, *cross, *seed+uint64(i))
+			ct.Start()
+		}
+	}
+	sim.RunUntil(60 * netsim.Second)
+
+	retrans, trimmedRx := 0, 0
+	for _, s := range stacks {
+		retrans += s.Stats.Retransmits
+	}
+	trimmedRx = rx.Stats.TrimmedReceived
+
+	fmt.Printf("topology=%s mode=%s senders=%d dim=%d buffer=%dB\n",
+		*topology, *mode, *senders, *dim, *buffer)
+	fmt.Printf("completed           %d/%d\n", completed, *senders)
+	fmt.Printf("FCT p50 / p99 / max %v / %v / %v\n",
+		fct.Percentile(0.5), fct.Percentile(0.99), fct.Max())
+	fmt.Printf("retransmits         %d\n", retrans)
+	fmt.Printf("trimmed received    %d\n", trimmedRx)
+	if bottleneck != nil {
+		st := bottleneck.Stats
+		fmt.Printf("bottleneck port     enq=%d tx=%d trim=%d drop=%d maxQ=%dB\n",
+			st.Enqueued, st.Transmitted, st.Trimmed, st.Dropped, st.MaxQueueBytes)
+	}
+}

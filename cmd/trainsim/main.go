@@ -1,0 +1,125 @@
+// Command trainsim runs one distributed-training simulation: choose the
+// encoding scheme, trim/drop rate, worker count and epochs, and get the
+// per-epoch accuracy trajectory against simulated wall-clock time.
+//
+// Examples:
+//
+//	trainsim -scheme rht -trim 0.5 -epochs 12
+//	trainsim -scheme baseline -drop 0.01
+//	trainsim -scheme sq -trim 0.1 -workers 4 -record trims.json
+//	trainsim -scheme sq -trim 0.1 -workers 4 -replay trims.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"trimgrad/internal/core"
+	"trimgrad/internal/ddp"
+	"trimgrad/internal/ml"
+	"trimgrad/internal/quant"
+)
+
+func main() {
+	var (
+		scheme   = flag.String("scheme", "rht", "encoding: baseline|sign|sq|sd|rht|linear|rht-linear")
+		headBits = flag.Int("p", 1, "head bits per coordinate (linear/rht-linear)")
+		trim     = flag.Float64("trim", 0, "per-packet trim probability")
+		drop     = flag.Float64("drop", 0, "per-packet drop probability (baseline)")
+		workers  = flag.Int("workers", 2, "data-parallel workers")
+		epochs   = flag.Int("epochs", 12, "training epochs")
+		lr       = flag.Float64("lr", 0.07, "learning rate")
+		seed     = flag.Uint64("seed", 1, "run seed")
+		record   = flag.String("record", "", "record the trim transcript to this file (§5.4)")
+		replay   = flag.String("replay", "", "replay a recorded trim transcript (§5.4)")
+		hard     = flag.Bool("hard", true, "use the hard 100-class benchmark task")
+	)
+	flag.Parse()
+
+	dcfg := ml.SyntheticConfig{
+		Classes: 100, Dim: 64, Train: 8000, Test: 2000,
+		Noise: 12.8, Spread: 8.0, Seed: 42,
+	}
+	if !*hard {
+		dcfg = ml.SyntheticConfig{
+			Classes: 20, Dim: 32, Train: 3000, Test: 800,
+			Noise: 0.5, Spread: 1.0, Seed: 42,
+		}
+	}
+	train, test := ml.Synthetic(dcfg)
+
+	cfg := ddp.Config{
+		Workers:  *workers,
+		TrimRate: *trim,
+		DropRate: *drop,
+		Epochs:   *epochs,
+		LR:       *lr,
+		Seed:     *seed,
+		RowSize:  1 << 15,
+	}
+	if *scheme != "baseline" {
+		s, err := quant.ParseScheme(*scheme)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trainsim:", err)
+			os.Exit(2)
+		}
+		cfg.Scheme = &quant.Params{Scheme: s, P: *headBits}
+	}
+
+	var recorder *core.Recorder
+	switch {
+	case *record != "" && *replay != "":
+		fmt.Fprintln(os.Stderr, "trainsim: -record and -replay are mutually exclusive")
+		os.Exit(2)
+	case *record != "":
+		recorder = core.NewRecorder(core.NewTrimmer(*trim, *seed+0x7717))
+		cfg.Injector = recorder
+	case *replay != "":
+		f, err := os.Open(*replay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trainsim:", err)
+			os.Exit(1)
+		}
+		transcript, err := core.LoadTranscript(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trainsim:", err)
+			os.Exit(1)
+		}
+		cfg.Injector = core.NewPlayer(transcript)
+	}
+
+	tr, err := ddp.New(cfg, train, test, 128)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trainsim:", err)
+		os.Exit(1)
+	}
+	res, err := tr.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trainsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("epoch  wall_s   loss    top1    top5    trim_frac\n")
+	for _, p := range res.Points {
+		fmt.Printf("%5d  %7.1f  %6.3f  %.4f  %.4f  %.4f\n",
+			p.Epoch, p.Wall, p.Loss, p.Top1, p.Top5, p.TrimFrac)
+	}
+	fmt.Println(res)
+
+	if recorder != nil {
+		f, err := os.Create(*record)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trainsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := recorder.Transcript.Save(f); err != nil {
+			fmt.Fprintln(os.Stderr, "trainsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("recorded %d packet fates to %s\n",
+			len(recorder.Transcript.Events), *record)
+	}
+}

@@ -1,0 +1,162 @@
+// Command trimwire inspects and manipulates trimgrad wire-format packets:
+// it parses headers, verifies checksums, applies the switch-side trim
+// operation, and hex-dumps regions. With no input file it generates a
+// demo packet so the format can be explored immediately.
+//
+// Examples:
+//
+//	trimwire -demo                     # build, show, trim a demo packet
+//	trimwire -in pkt.bin               # inspect a captured packet
+//	trimwire -in pkt.bin -trim 87 -out trimmed.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"trimgrad/internal/quant"
+	"trimgrad/internal/wire"
+	"trimgrad/internal/xrand"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "", "packet file to inspect (raw wire bytes)")
+		out    = flag.String("out", "", "write the (possibly trimmed) packet here")
+		trimTo = flag.Int("trim", -1, "apply switch-side Trim to this byte target")
+		demo   = flag.Bool("demo", false, "generate and inspect a demo packet")
+		hex    = flag.Bool("hex", false, "hex-dump the packet regions")
+	)
+	flag.Parse()
+
+	var buf []byte
+	switch {
+	case *in != "":
+		b, err := os.ReadFile(*in)
+		if err != nil {
+			fatal(err)
+		}
+		buf = b
+	case *demo || *in == "":
+		buf = demoPacket()
+		fmt.Println("(no -in given: inspecting a generated demo packet)")
+	}
+
+	if *trimTo >= 0 {
+		before := len(buf)
+		buf = wire.Trim(buf, *trimTo)
+		fmt.Printf("Trim(%d): %d -> %d bytes\n\n", *trimTo, before, len(buf))
+	}
+
+	inspect(buf, *hex)
+
+	if *out != "" {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote %d bytes to %s\n", len(buf), *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "trimwire:", err)
+	os.Exit(1)
+}
+
+func demoPacket() []byte {
+	r := xrand.New(42)
+	row := make([]float32, 354)
+	for i := range row {
+		row[i] = float32(r.NormFloat64() * 0.05)
+	}
+	c := quant.MustNew(quant.Params{Scheme: quant.RHT})
+	padded := make([]float32, 512)
+	copy(padded, row)
+	enc, err := c.Encode(padded, 7)
+	if err != nil {
+		fatal(err)
+	}
+	_, data, err := wire.PackRow(1, 2, 0, enc)
+	if err != nil {
+		fatal(err)
+	}
+	return data[0]
+}
+
+func inspect(buf []byte, hexDump bool) {
+	h, err := wire.ParseHeader(buf)
+	if err != nil {
+		fmt.Printf("not a trimgrad packet: %v\n", err)
+		return
+	}
+	kind := "data"
+	switch {
+	case h.IsMeta():
+		kind = "metadata"
+	case h.IsNaive():
+		kind = "naive (whole floats)"
+	}
+	fmt.Printf("kind      %s\n", kind)
+	fmt.Printf("flags     trimmed=%v\n", h.Trimmed())
+	fmt.Printf("flow      %d\n", h.Flow)
+	fmt.Printf("message   %d  row %d  start %d  count %d\n", h.Message, h.Row, h.Start, h.Count)
+	fmt.Printf("geometry  P=%d head bits, Q=%d tail bits per coordinate\n", h.P, h.Q)
+	fmt.Printf("seed      %#x\n", h.Seed)
+	fmt.Printf("size      %d bytes on wire (+%d network overhead)\n", len(buf), wire.NetOverhead)
+
+	switch {
+	case h.IsMeta():
+		m, err := wire.ParseMetaPacket(buf)
+		if err != nil {
+			fmt.Printf("metadata  INVALID: %v\n", err)
+			return
+		}
+		fmt.Printf("metadata  scheme=%v N=%d scale=%g\n", quant.Scheme(m.Scheme), m.N, m.Scale)
+	case h.IsNaive():
+		p, err := wire.ParseNaivePacket(buf)
+		if err != nil {
+			fmt.Printf("payload   INVALID: %v\n", err)
+			return
+		}
+		fmt.Printf("payload   %d/%d whole floats survive\n", p.ValueCount, p.Count)
+	default:
+		p, err := wire.ParseDataPacket(buf)
+		if err != nil {
+			fmt.Printf("payload   INVALID: %v\n", err)
+			return
+		}
+		fmt.Printf("payload   heads complete (%d), tails %d/%d (%s)\n",
+			len(p.Heads), p.TailCount, p.Count,
+			map[bool]string{true: "trimmed", false: "intact"}[p.TailCount < int(p.Count)])
+		fmt.Printf("regions   header[0:%d) heads[%d:%d) tails[%d:%d)\n",
+			wire.HeaderSize, wire.HeaderSize, wire.HeaderSize+h.HeadBytes(),
+			wire.HeaderSize+h.HeadBytes(), h.FullSize())
+		fmt.Printf("trim      boundary at %d bytes → %.1f%% compression\n",
+			h.TrimmedSize(),
+			100*(1-float64(h.TrimmedSize()+wire.NetOverhead)/float64(h.FullSize()+wire.NetOverhead)))
+	}
+
+	if hexDump {
+		fmt.Println()
+		dump(buf)
+	}
+}
+
+func dump(buf []byte) {
+	for off := 0; off < len(buf); off += 16 {
+		end := off + 16
+		if end > len(buf) {
+			end = len(buf)
+		}
+		fmt.Printf("%06x  ", off)
+		for i := off; i < end; i++ {
+			fmt.Printf("%02x ", buf[i])
+		}
+		fmt.Println()
+		if off >= 256 {
+			fmt.Printf("... (%d more bytes)\n", len(buf)-end)
+			return
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module trimgrad
+
+go 1.22

@@ -1,0 +1,145 @@
+// Package collective implements the collective-communication operations
+// distributed training needs (the paper's "*ccl" layer): direct and ring
+// all-reduce for gradient averaging, all-gather for FSDP weight
+// collection (§5.5), and broadcast. Every operation runs over the
+// simulated fabric via package transport in either Reliable (baseline) or
+// Trimmable mode, and aggregation understands trimmed rows: a message
+// whose packets were trimmed still contributes its compressed gradient —
+// that is the paper's central mechanism.
+package collective
+
+import (
+	"fmt"
+
+	"trimgrad/internal/core"
+	"trimgrad/internal/netsim"
+	"trimgrad/internal/transport"
+	"trimgrad/internal/wire"
+)
+
+// Mode selects the transport protocol for a collective.
+type Mode int
+
+const (
+	// Reliable uses retransmission-based delivery (the NCCL-like baseline).
+	Reliable Mode = iota
+	// Trimmable uses the trim-aware transport.
+	Trimmable
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Trimmable {
+		return "trimmable"
+	}
+	return "reliable"
+}
+
+// Worker is one collective participant bound to a host's transport stack.
+type Worker struct {
+	Rank  int
+	Stack *transport.Stack
+	Mode  Mode
+
+	cfg  core.Config
+	enc  *core.Encoder
+	decs map[decKey]*core.Decoder
+
+	// onComplete is the op-installed completion hook.
+	onComplete func(src netsim.NodeID, msg uint32, at netsim.Time)
+	// AggStats accumulates decode statistics across operations.
+	AggStats core.Stats
+}
+
+type decKey struct {
+	src netsim.NodeID
+	msg uint32
+}
+
+// NewWorker binds a worker to a stack. cfg.Flow is overwritten with the
+// rank so packet headers identify the sender.
+func NewWorker(rank int, stack *transport.Stack, cfg core.Config, mode Mode) (*Worker, error) {
+	cfg.Flow = uint32(rank)
+	enc, err := core.NewEncoder(cfg)
+	if err != nil {
+		return nil, err
+	}
+	w := &Worker{
+		Rank:  rank,
+		Stack: stack,
+		Mode:  mode,
+		cfg:   cfg,
+		enc:   enc,
+		decs:  make(map[decKey]*core.Decoder),
+	}
+	stack.Receiver = transport.ReceiverFunc(w.handlePayload)
+	stack.OnMessageComplete = func(src netsim.NodeID, msg uint32, at netsim.Time) {
+		if w.onComplete != nil {
+			w.onComplete(src, msg, at)
+		}
+	}
+	return w, nil
+}
+
+// Encoder exposes the worker's encoder (for size accounting in harnesses).
+func (w *Worker) Encoder() *core.Encoder { return w.enc }
+
+func (w *Worker) handlePayload(src netsim.NodeID, payload []byte) {
+	h, err := wire.ParseHeader(payload)
+	if err != nil {
+		return // not a trimgrad payload (should not happen)
+	}
+	key := decKey{src, h.Message}
+	dec := w.decs[key]
+	if dec == nil {
+		d, err := core.NewDecoder(w.cfg, h.Message)
+		if err != nil {
+			return
+		}
+		dec = d
+		w.decs[key] = dec
+	}
+	// Ignore per-packet errors: corrupt/foreign packets simply don't
+	// contribute, mirroring a real receiver.
+	_ = dec.Handle(payload)
+}
+
+// reconstruct decodes a completed message from src and drops its state.
+func (w *Worker) reconstruct(src netsim.NodeID, msg uint32, n int) ([]float32, error) {
+	key := decKey{src, msg}
+	dec := w.decs[key]
+	if dec == nil {
+		return nil, fmt.Errorf("collective: no packets from %d for message %d", src, msg)
+	}
+	out, stats, err := dec.Reconstruct(n)
+	if err != nil {
+		return nil, err
+	}
+	w.AggStats.Packets += stats.Packets
+	w.AggStats.TrimmedPackets += stats.TrimmedPackets
+	w.AggStats.ExpectedPackets += stats.ExpectedPackets
+	w.AggStats.TrimmedCoords += stats.TrimmedCoords
+	w.AggStats.TotalCoords += stats.TotalCoords
+	w.AggStats.DroppedCoords += stats.DroppedCoords
+	w.AggStats.BytesReceived += stats.BytesReceived
+	delete(w.decs, key)
+	return out, nil
+}
+
+// send encodes grad as message msg and ships it to dst using the worker's
+// mode. done fires when the transport confirms delivery.
+func (w *Worker) send(dst netsim.NodeID, epoch uint64, msg uint32, grad []float32,
+	done func(at netsim.Time), failed func()) error {
+	m, err := w.enc.Encode(epoch, msg, grad)
+	if err != nil {
+		return err
+	}
+	switch w.Mode {
+	case Trimmable:
+		w.Stack.SendTrimmable(dst, msg, m.Meta, m.Data, done, failed)
+	default:
+		payloads := append(append([][]byte{}, m.Meta...), m.Data...)
+		w.Stack.SendReliable(dst, msg, payloads, done, failed)
+	}
+	return nil
+}

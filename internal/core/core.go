@@ -1,0 +1,274 @@
+// Package core assembles the paper's contribution end to end: it takes a
+// gradient tensor, splits it into rows (2^15 coordinates by default,
+// matching the paper's GPU-L1-sized rows), encodes each row with a
+// trimmable quantization scheme from package quant, and packetizes it with
+// package wire so that any switch along the path can compress the gradient
+// just by trimming packets. On the receive side it reassembles rows from
+// any mix of full, trimmed, and missing packets and decodes the
+// (approximate) gradient.
+//
+// The package also provides the congestion injectors used throughout the
+// evaluation (probabilistic trimming/dropping, mirroring the paper's
+// prototype methodology) and the trim transcript of §5.4 that makes a
+// congested run exactly replayable.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"trimgrad/internal/fwht"
+	"trimgrad/internal/quant"
+	"trimgrad/internal/wire"
+	"trimgrad/internal/xrand"
+)
+
+// Config configures an Encoder/Decoder pair. Both ends of a connection
+// must use identical Config values.
+type Config struct {
+	// Params selects the quantization scheme.
+	Params quant.Params
+	// RowSize is the per-row coordinate count; it must be a power of two.
+	// Zero means fwht.DefaultRowSize (2^15, the paper's choice).
+	RowSize int
+	// Flow identifies the sender in packet headers.
+	Flow uint32
+}
+
+func (c Config) withDefaults() Config {
+	if c.RowSize == 0 {
+		c.RowSize = fwht.DefaultRowSize
+	}
+	return c
+}
+
+// Message is one encoded collective-communication message: the trimmable
+// data packets plus the reliable metadata packets, ready for transmission.
+type Message struct {
+	ID uint32
+	// N is the original (pre-padding) gradient length in coordinates.
+	N int
+	// Meta holds one reliable metadata packet per row.
+	Meta [][]byte
+	// Data holds every trimmable data packet, in row-major order.
+	Data [][]byte
+}
+
+// DataBytes returns the total untrimmed data-packet payload bytes.
+func (m *Message) DataBytes() int {
+	total := 0
+	for _, p := range m.Data {
+		total += len(p)
+	}
+	return total
+}
+
+// WireBytes returns the total bytes on the wire including per-packet
+// network overhead and the metadata packets.
+func (m *Message) WireBytes() int {
+	total := 0
+	for _, p := range m.Data {
+		total += len(p) + wire.NetOverhead
+	}
+	for _, p := range m.Meta {
+		total += len(p) + wire.NetOverhead
+	}
+	return total
+}
+
+// RowSeed derives the shared-randomness seed for one row, combining the
+// epoch and message/row ids exactly as the paper combines the training
+// epoch and collective-communication message ID into the GPU RNG seed.
+func RowSeed(epoch uint64, message, row uint32) uint64 {
+	return xrand.Seed(epoch, uint64(message), uint64(row))
+}
+
+// Encoder turns gradient tensors into trimmable packet streams.
+type Encoder struct {
+	cfg   Config
+	codec quant.Codec
+}
+
+// NewEncoder builds an encoder for cfg.
+func NewEncoder(cfg Config) (*Encoder, error) {
+	cfg = cfg.withDefaults()
+	if cfg.RowSize&(cfg.RowSize-1) != 0 || cfg.RowSize <= 0 {
+		return nil, fmt.Errorf("core: RowSize %d is not a power of two", cfg.RowSize)
+	}
+	codec, err := quant.New(cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	return &Encoder{cfg: cfg, codec: codec}, nil
+}
+
+// Codec exposes the underlying quantizer (for benchmarks and diagnostics).
+func (e *Encoder) Codec() quant.Codec { return e.codec }
+
+// Encode encodes grad as message msgID of the given epoch.
+func (e *Encoder) Encode(epoch uint64, msgID uint32, grad []float32) (*Message, error) {
+	if len(grad) == 0 {
+		return nil, errors.New("core: empty gradient")
+	}
+	rows := fwht.SplitRows(grad, e.cfg.RowSize)
+	msg := &Message{ID: msgID, N: len(grad)}
+	for r, row := range rows {
+		seed := RowSeed(epoch, msgID, uint32(r))
+		enc, err := e.codec.Encode(row, seed)
+		if err != nil {
+			return nil, fmt.Errorf("core: row %d: %w", r, err)
+		}
+		meta, data, err := wire.PackRow(e.cfg.Flow, msgID, uint32(r), enc)
+		if err != nil {
+			return nil, fmt.Errorf("core: row %d: %w", r, err)
+		}
+		msg.Meta = append(msg.Meta, meta)
+		msg.Data = append(msg.Data, data...)
+	}
+	return msg, nil
+}
+
+// Stats summarizes what a Decoder saw for one message.
+type Stats struct {
+	// Packets counts data packets that arrived (trimmed or not).
+	Packets int
+	// TrimmedPackets counts arrived packets with the trimmed flag.
+	TrimmedPackets int
+	// ExpectedPackets is how many data packets the sender emitted.
+	ExpectedPackets int
+	// TrimmedCoords / TotalCoords give the coordinate-level trim fraction.
+	TrimmedCoords int
+	TotalCoords   int
+	// DroppedCoords counts coordinates whose head never arrived.
+	DroppedCoords int
+	// BytesReceived counts data-packet bytes that arrived.
+	BytesReceived int
+}
+
+// DroppedPackets returns how many data packets never arrived.
+func (s Stats) DroppedPackets() int { return s.ExpectedPackets - s.Packets }
+
+// TrimFraction returns the fraction of coordinates that lost their tails.
+func (s Stats) TrimFraction() float64 {
+	if s.TotalCoords == 0 {
+		return 0
+	}
+	return float64(s.TrimmedCoords) / float64(s.TotalCoords)
+}
+
+// Decoder reassembles and decodes one message's packet stream.
+// A Decoder instance handles a single message; create one per message.
+type Decoder struct {
+	cfg   Config
+	codec quant.Codec
+	msgID uint32
+	rows  map[uint32]*wire.RowAssembler
+	stats Stats
+}
+
+// NewDecoder builds a decoder for message msgID under cfg. cfg must match
+// the sender's.
+func NewDecoder(cfg Config, msgID uint32) (*Decoder, error) {
+	cfg = cfg.withDefaults()
+	codec, err := quant.New(cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	return &Decoder{
+		cfg:   cfg,
+		codec: codec,
+		msgID: msgID,
+		rows:  make(map[uint32]*wire.RowAssembler),
+	}, nil
+}
+
+// Handle ingests one arrived packet (metadata or data, in any order).
+// Packets belonging to other messages are rejected.
+func (d *Decoder) Handle(pkt []byte) error {
+	h, err := wire.ParseHeader(pkt)
+	if err != nil {
+		return err
+	}
+	if h.Message != d.msgID {
+		return fmt.Errorf("core: packet for message %d, decoder is for %d", h.Message, d.msgID)
+	}
+	asm := d.rows[h.Row]
+	if asm == nil {
+		asm = wire.NewRowAssembler()
+		d.rows[h.Row] = asm
+	}
+	if h.IsMeta() {
+		m, err := wire.ParseMetaPacket(pkt)
+		if err != nil {
+			return err
+		}
+		return asm.AddMeta(m)
+	}
+	dp, err := wire.ParseDataPacket(pkt)
+	if err != nil {
+		return err
+	}
+	if !asm.HaveMeta() {
+		return fmt.Errorf("core: data for row %d before its metadata", h.Row)
+	}
+	if err := asm.AddData(dp); err != nil {
+		return err
+	}
+	d.stats.Packets++
+	d.stats.BytesReceived += len(pkt)
+	if dp.Trimmed() {
+		d.stats.TrimmedPackets++
+	}
+	return nil
+}
+
+// Reconstruct decodes the gradient from whatever packets arrived. n is the
+// original gradient length (known to the training framework, which sized
+// the bucket). Rows whose metadata never arrived are decoded as zeros —
+// metadata travels reliably, so in practice this only happens in
+// drop-injection experiments.
+func (d *Decoder) Reconstruct(n int) ([]float32, Stats, error) {
+	if n <= 0 {
+		return nil, d.stats, errors.New("core: non-positive gradient length")
+	}
+	rowSize := d.cfg.RowSize
+	nRows := (n + rowSize - 1) / rowSize
+	out := make([]float32, 0, nRows*rowSize)
+	d.stats.ExpectedPackets = 0
+	d.stats.TrimmedCoords = 0
+	d.stats.TotalCoords = 0
+	d.stats.DroppedCoords = 0
+	for r := 0; r < nRows; r++ {
+		asm := d.rows[uint32(r)]
+		if asm == nil || !asm.HaveMeta() {
+			out = append(out, make([]float32, rowSize)...)
+			d.stats.TotalCoords += rowSize
+			d.stats.DroppedCoords += rowSize
+			continue
+		}
+		enc, headAvail, tailAvail, err := asm.Assemble()
+		if err != nil {
+			return nil, d.stats, fmt.Errorf("core: row %d: %w", r, err)
+		}
+		d.stats.ExpectedPackets += asm.ExpectedPackets()
+		dec, err := d.codec.Decode(enc, headAvail, tailAvail)
+		if err != nil {
+			return nil, d.stats, fmt.Errorf("core: row %d: %w", r, err)
+		}
+		for i := range headAvail {
+			d.stats.TotalCoords++
+			switch {
+			case !headAvail[i]:
+				d.stats.DroppedCoords++
+			case !tailAvail[i]:
+				d.stats.TrimmedCoords++
+			}
+		}
+		out = append(out, dec...)
+	}
+	return out[:n], d.stats, nil
+}
+
+// Stats returns the decoder's packet statistics so far. Coordinate-level
+// fields are only populated after Reconstruct.
+func (d *Decoder) Stats() Stats { return d.stats }

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"trimgrad/internal/wire"
+	"trimgrad/internal/xrand"
+)
+
+// An Injector models what the network does to each data packet in flight.
+// It is the software analogue of the paper's "pre-set random probabilistic
+// dropping/trimming" used to simulate congestion in the prototype (§4).
+// Metadata packets travel the reliable channel and bypass injectors.
+//
+// Apply returns the (possibly trimmed) packet, or nil if the packet was
+// dropped. Implementations may mutate pkt in place, as wire.Trim does.
+type Injector interface {
+	Apply(pkt []byte) []byte
+}
+
+// Deliver is the identity injector: an uncongested network.
+type Deliver struct{}
+
+// Apply returns pkt unchanged.
+func (Deliver) Apply(pkt []byte) []byte { return pkt }
+
+// Trimmer trims each packet independently with probability Rate,
+// simulating congestion-triggered switch trimming at a fixed intensity.
+type Trimmer struct {
+	Rate float64
+	// Target is the trim target size in bytes; zero trims to the head
+	// boundary (maximal trimming).
+	Target int
+	rng    *xrand.Rand
+}
+
+// NewTrimmer returns a Trimmer with a deterministic RNG.
+func NewTrimmer(rate float64, seed uint64) *Trimmer {
+	return &Trimmer{Rate: rate, rng: xrand.New(seed)}
+}
+
+// Apply trims pkt with probability Rate.
+func (t *Trimmer) Apply(pkt []byte) []byte {
+	if t.rng.Float64() < t.Rate {
+		return wire.Trim(pkt, t.Target)
+	}
+	return pkt
+}
+
+// Dropper drops each packet independently with probability Rate,
+// simulating a conventional lossy network (the baseline transport's
+// environment).
+type Dropper struct {
+	Rate float64
+	rng  *xrand.Rand
+}
+
+// NewDropper returns a Dropper with a deterministic RNG.
+func NewDropper(rate float64, seed uint64) *Dropper {
+	return &Dropper{Rate: rate, rng: xrand.New(seed)}
+}
+
+// Apply drops pkt with probability Rate.
+func (d *Dropper) Apply(pkt []byte) []byte {
+	if d.rng.Float64() < d.Rate {
+		return nil
+	}
+	return pkt
+}
+
+// Chain applies injectors in order, stopping if a packet is dropped.
+type Chain []Injector
+
+// Apply runs pkt through every injector in sequence.
+func (c Chain) Apply(pkt []byte) []byte {
+	for _, inj := range c {
+		pkt = inj.Apply(pkt)
+		if pkt == nil {
+			return nil
+		}
+	}
+	return pkt
+}

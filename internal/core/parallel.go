@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"trimgrad/internal/fwht"
+	"trimgrad/internal/quant"
+	"trimgrad/internal/wire"
+)
+
+// EncodeParallel is Encode with per-row parallelism. The paper splits each
+// communication blob into 2^15-entry rows precisely so the GPU can rotate
+// them independently; on the CPU the same independence lets rows encode on
+// all cores. The result is bit-identical to Encode (row seeds depend only
+// on (epoch, msgID, row), never on execution order).
+//
+// workers ≤ 0 means GOMAXPROCS.
+func (e *Encoder) EncodeParallel(epoch uint64, msgID uint32, grad []float32, workers int) (*Message, error) {
+	if len(grad) == 0 {
+		return nil, fmt.Errorf("core: empty gradient")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rows := fwht.SplitRows(grad, e.cfg.RowSize)
+	if workers > len(rows) {
+		workers = len(rows)
+	}
+	if workers <= 1 {
+		return e.Encode(epoch, msgID, grad)
+	}
+
+	type rowOut struct {
+		meta []byte
+		data [][]byte
+		err  error
+	}
+	outs := make([]rowOut, len(rows))
+	var wg sync.WaitGroup
+	next := make(chan int, len(rows))
+	for r := range rows {
+		next <- r
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Each worker gets its own codec instance: codecs are
+			// stateless across Encode calls but not documented as
+			// concurrency-safe, so do not share one.
+			codec, err := newCodecFor(e.cfg)
+			if err != nil {
+				// Configuration was already validated in NewEncoder;
+				// still, surface the error through the first row we own.
+				for r := range next {
+					outs[r].err = err
+				}
+				return
+			}
+			for r := range next {
+				seed := RowSeed(epoch, msgID, uint32(r))
+				enc, err := codec.Encode(rows[r], seed)
+				if err != nil {
+					outs[r].err = fmt.Errorf("core: row %d: %w", r, err)
+					continue
+				}
+				meta, data, err := wire.PackRow(e.cfg.Flow, msgID, uint32(r), enc)
+				if err != nil {
+					outs[r].err = fmt.Errorf("core: row %d: %w", r, err)
+					continue
+				}
+				outs[r] = rowOut{meta: meta, data: data}
+			}
+		}()
+	}
+	wg.Wait()
+
+	msg := &Message{ID: msgID, N: len(grad)}
+	for r := range outs {
+		if outs[r].err != nil {
+			return nil, outs[r].err
+		}
+		msg.Meta = append(msg.Meta, outs[r].meta)
+		msg.Data = append(msg.Data, outs[r].data...)
+	}
+	return msg, nil
+}
+
+// newCodecFor builds a fresh codec for cfg (used per encode worker).
+func newCodecFor(cfg Config) (quant.Codec, error) {
+	return quant.New(cfg.withDefaults().Params)
+}

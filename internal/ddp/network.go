@@ -1,0 +1,262 @@
+package ddp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"trimgrad/internal/collective"
+	"trimgrad/internal/core"
+	"trimgrad/internal/ml"
+	"trimgrad/internal/netsim"
+	"trimgrad/internal/transport"
+	"trimgrad/internal/vecmath"
+)
+
+// NetTrainer is the closed-loop variant of Trainer: instead of injecting
+// trimming at a pre-set probability (the paper's §4 methodology), every
+// gradient exchange runs over a live netsim fabric whose shallow-buffer
+// switches trim (or drop) under the incast the exchange itself creates.
+// This is the "full-scale simulation" §5.1 calls for: the trim fraction
+// is an *outcome* of queue dynamics, not a parameter, and communication
+// time is measured from the simulator rather than modelled.
+type NetTrainer struct {
+	cfg    Config
+	fabric FabricConfig
+	model  *ml.Model
+	train  *ml.Dataset
+	test   *ml.Dataset
+
+	sim     *netsim.Sim
+	workers []*collective.Worker
+	cross   []*netsim.CrossTraffic
+
+	lastTrimmed, lastTotal int
+}
+
+// FabricConfig describes the simulated network under the training job.
+type FabricConfig struct {
+	// Link is every host↔switch link.
+	Link netsim.LinkConfig
+	// Queue configures the switch (shallow buffers + TrimOverflow for the
+	// paper's design; DropTail for the baseline).
+	Queue netsim.QueueConfig
+	// Mode selects the transport (Reliable baseline vs Trimmable).
+	Mode collective.Mode
+	// CrossRate, if nonzero, adds Poisson cross traffic at this many
+	// packets/s from a dedicated host toward each worker.
+	CrossRate float64
+	// RoundTimeout bounds one exchange; zero means 10 s.
+	RoundTimeout netsim.Time
+}
+
+func (f FabricConfig) withDefaults() FabricConfig {
+	if f.Link.Bandwidth == 0 {
+		f.Link = netsim.LinkConfig{Bandwidth: netsim.Gbps(10), Delay: 5 * netsim.Microsecond}
+	}
+	if f.Queue.CapacityBytes == 0 {
+		f.Queue = netsim.QueueConfig{
+			CapacityBytes:     64 << 10,
+			HighCapacityBytes: 1 << 20,
+			Mode:              netsim.TrimOverflow,
+		}
+	}
+	if f.RoundTimeout == 0 {
+		f.RoundTimeout = 10 * netsim.Second
+	}
+	return f
+}
+
+// NewNetworked builds a closed-loop trainer: cfg.Workers hosts around one
+// switch, plus one cross-traffic host when CrossRate > 0.
+func NewNetworked(cfg Config, fabric FabricConfig, train, test *ml.Dataset, hidden ...int) (*NetTrainer, error) {
+	cfg = cfg.withDefaults()
+	fabric = fabric.withDefaults()
+	if train.Len() == 0 {
+		return nil, errors.New("ddp: empty training set")
+	}
+	if cfg.Scheme == nil {
+		return nil, errors.New("ddp: networked training needs an encoding scheme (wire format)")
+	}
+	sizes := append([]int{train.Dim}, hidden...)
+	sizes = append(sizes, train.Classes)
+
+	nt := &NetTrainer{
+		cfg:    cfg,
+		fabric: fabric,
+		model:  ml.NewMLP(cfg.Seed, sizes...),
+		train:  train,
+		test:   test,
+		sim:    netsim.NewSim(),
+	}
+	nHosts := cfg.Workers
+	if fabric.CrossRate > 0 {
+		nHosts++
+	}
+	star := netsim.BuildStar(nt.sim, nHosts, fabric.Link, fabric.Queue)
+	for i := 0; i < cfg.Workers; i++ {
+		stack := transport.NewStack(star.Hosts[i], transport.Config{})
+		w, err := collective.NewWorker(i, stack, core.Config{
+			Params:  *cfg.Scheme,
+			RowSize: cfg.RowSize,
+		}, fabric.Mode)
+		if err != nil {
+			return nil, err
+		}
+		nt.workers = append(nt.workers, w)
+	}
+	if fabric.CrossRate > 0 {
+		src := star.Hosts[nHosts-1]
+		for i := 0; i < cfg.Workers; i++ {
+			ct := netsim.NewCrossTraffic(src, netsim.NodeID(i), 1500,
+				fabric.CrossRate, cfg.Seed+uint64(i)*7)
+			ct.Start()
+			nt.cross = append(nt.cross, ct)
+		}
+	}
+	return nt, nil
+}
+
+// Model exposes the trained model.
+func (t *NetTrainer) Model() *ml.Model { return t.model }
+
+// Run executes the training. Wall-clock time combines the cost model's
+// compute+encode terms with the *measured* simulated communication time
+// of each round's all-reduce.
+func (t *NetTrainer) Run() (*Result, error) {
+	cfg := t.cfg
+	res := &Result{Config: cfg}
+	shards := t.train.Shard(cfg.Workers)
+	opt := ml.NewSGD(cfg.LR, cfg.Momentum)
+	sched := ml.NewStepLR(opt, cfg.StepSize, cfg.Gamma)
+	computeTime := cfg.Cost.Compute + cfg.Cost.EncodeTime(cfg.Scheme)
+
+	wall := 0.0
+	msgBase := uint32(1)
+	dim := t.model.NumParams()
+	grads := make([][]float32, cfg.Workers)
+
+	for epoch := 1; epoch <= cfg.Epochs; epoch++ {
+		type stream struct {
+			xs [][][]float32
+			ys [][]int
+		}
+		streams := make([]stream, cfg.Workers)
+		rounds := math.MaxInt
+		for w := range streams {
+			xs, ys := shards[w].Batches(cfg.Batch, cfg.Seed+uint64(epoch)*131+uint64(w))
+			streams[w] = stream{xs, ys}
+			if len(xs) < rounds {
+				rounds = len(xs)
+			}
+		}
+		var epochLoss float64
+		trimmed, total := 0, 0
+		for r := 0; r < rounds; r++ {
+			for w := 0; w < cfg.Workers; w++ {
+				t.model.ZeroGrad()
+				logits := t.model.Forward(streams[w].xs[r], true)
+				loss, dLogits := ml.SoftmaxCrossEntropy(logits, streams[w].ys[r])
+				epochLoss += loss
+				t.model.Backward(dLogits)
+				grads[w] = append(grads[w][:0], t.model.Grads()...)
+			}
+			avg, commSecs, err := t.exchangeRound(uint64(epoch), msgBase, grads, dim)
+			if err != nil {
+				return nil, err
+			}
+			msgBase += uint32(cfg.Workers)
+			opt.Step(t.model.Params(), avg)
+			wall += computeTime + commSecs
+
+			tr, to := t.statsDelta()
+			trimmed += tr
+			total += to
+
+			if !allFinite(t.model.Params()) {
+				res.Diverged = true
+				res.WallTotal = wall
+				return res, nil
+			}
+		}
+		sched.EpochEnd()
+		if epoch%cfg.EvalEvery == 0 || epoch == cfg.Epochs {
+			top1, top5 := ml.Evaluate(t.model, t.test, 256)
+			p := Point{
+				Epoch: epoch, Wall: wall,
+				Loss: epochLoss / float64(rounds*cfg.Workers),
+				Top1: top1, Top5: top5,
+			}
+			if total > 0 {
+				p.TrimFrac = float64(trimmed) / float64(total)
+			}
+			res.Points = append(res.Points, p)
+		}
+	}
+	if n := len(res.Points); n > 0 {
+		res.FinalTop1 = res.Points[n-1].Top1
+		res.FinalTop5 = res.Points[n-1].Top5
+	}
+	res.WallTotal = wall
+	return res, nil
+}
+
+// exchangeRound runs one direct all-reduce on the live fabric and returns
+// the replica-consistent average and the measured communication seconds.
+func (t *NetTrainer) exchangeRound(epoch uint64, msgBase uint32, grads [][]float32, dim int) ([]float32, float64, error) {
+	n := t.cfg.Workers
+	results := make([][]float32, n)
+	var lastDone netsim.Time
+	var opErr error
+	start := t.sim.Now()
+	err := collective.AllReduceDirect(epoch, msgBase, t.workers, grads,
+		func(rank int, avg []float32, at netsim.Time) {
+			results[rank] = avg
+			if at > lastDone {
+				lastDone = at
+			}
+		},
+		func(rank int, err error) {
+			if opErr == nil {
+				opErr = fmt.Errorf("ddp: rank %d: %w", rank, err)
+			}
+		})
+	if err != nil {
+		return nil, 0, err
+	}
+	t.sim.RunUntil(start + t.fabric.RoundTimeout)
+	if opErr != nil {
+		return nil, 0, opErr
+	}
+	for rank, got := range results {
+		if got == nil {
+			return nil, 0, fmt.Errorf("ddp: rank %d round timed out (baseline congestion collapse?)", rank)
+		}
+	}
+	// Replica consistency: average the per-worker averages so every
+	// replica applies the same update (each avg already divides by n).
+	avg := make([]float32, dim)
+	for _, g := range results {
+		vecmath.Add(avg, g)
+	}
+	vecmath.Scale(avg, 1/float32(n))
+	return avg, (lastDone - start).Seconds(), nil
+}
+
+// statsTotals / statsDelta track coordinate-level trim accounting across
+// rounds from the workers' aggregate decode stats.
+func (t *NetTrainer) statsTotals() (trimmed, total int) {
+	for _, w := range t.workers {
+		trimmed += w.AggStats.TrimmedCoords
+		total += w.AggStats.TotalCoords
+	}
+	return
+}
+
+// statsDelta returns the totals accumulated since the previous call.
+func (t *NetTrainer) statsDelta() (trimmed, total int) {
+	tr, to := t.statsTotals()
+	d1, d2 := tr-t.lastTrimmed, to-t.lastTotal
+	t.lastTrimmed, t.lastTotal = tr, to
+	return d1, d2
+}

@@ -1,0 +1,122 @@
+package ddp
+
+import (
+	"testing"
+
+	"trimgrad/internal/collective"
+	"trimgrad/internal/netsim"
+	"trimgrad/internal/quant"
+)
+
+// TestNetworkedTrainsCleanFabric: closed-loop training on an uncongested
+// fabric should converge like the injector trainer at trim 0.
+func TestNetworkedTrainsCleanFabric(t *testing.T) {
+	train, test := testData()
+	nt, err := NewNetworked(
+		Config{Workers: 2, Epochs: 6, Seed: 1, RowSize: 1 << 11,
+			Scheme: sp(quant.RHT, 1)},
+		FabricConfig{
+			Queue: netsim.QueueConfig{CapacityBytes: 8 << 20, Mode: netsim.TrimOverflow},
+			Mode:  collective.Trimmable,
+		},
+		train, test, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := nt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Diverged {
+		t.Fatal("diverged on a clean fabric")
+	}
+	if res.FinalTop1 < 0.85 {
+		t.Fatalf("top1 = %v", res.FinalTop1)
+	}
+	last := res.Points[len(res.Points)-1]
+	if last.TrimFrac != 0 {
+		t.Errorf("clean fabric produced trimming: %v", last.TrimFrac)
+	}
+	if res.WallTotal <= 0 {
+		t.Fatal("no wall clock")
+	}
+}
+
+// TestNetworkedClosedLoopTrims: a shallow-buffer trimming fabric under
+// the all-to-all incast must produce a *nonzero, emergent* trim fraction
+// and still learn.
+func TestNetworkedClosedLoopTrims(t *testing.T) {
+	train, test := testData()
+	nt, err := NewNetworked(
+		Config{Workers: 4, Epochs: 5, Seed: 1, RowSize: 1 << 11,
+			Scheme: sp(quant.RHT, 1)},
+		FabricConfig{
+			Link: netsim.LinkConfig{Bandwidth: netsim.Mbps(500), Delay: 5 * netsim.Microsecond},
+			Queue: netsim.QueueConfig{
+				CapacityBytes: 8 << 10, HighCapacityBytes: 1 << 20,
+				Mode: netsim.TrimOverflow,
+			},
+			Mode: collective.Trimmable,
+		},
+		train, test, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := nt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Diverged {
+		t.Fatal("diverged")
+	}
+	last := res.Points[len(res.Points)-1]
+	if last.TrimFrac == 0 {
+		t.Fatal("expected emergent trimming from queue dynamics")
+	}
+	if res.FinalTop1 < 0.7 {
+		t.Errorf("top1 = %v with %.1f%% closed-loop trimming", res.FinalTop1, 100*last.TrimFrac)
+	}
+}
+
+// TestNetworkedBaselineSlowerUnderCongestion: on the same shallow fabric,
+// the reliable baseline (DropTail) pays retransmission time — its
+// measured communication wall clock must exceed the trimming run's.
+func TestNetworkedBaselineSlowerUnderCongestion(t *testing.T) {
+	train, test := testData()
+	run := func(mode collective.Mode, qmode netsim.QueueMode) *Result {
+		nt, err := NewNetworked(
+			Config{Workers: 4, Epochs: 2, Seed: 1, RowSize: 1 << 11,
+				Scheme: sp(quant.RHT, 1)},
+			FabricConfig{
+				Link: netsim.LinkConfig{Bandwidth: netsim.Mbps(500), Delay: 5 * netsim.Microsecond},
+				Queue: netsim.QueueConfig{
+					CapacityBytes: 8 << 10, HighCapacityBytes: 1 << 20,
+					Mode: qmode,
+				},
+				Mode:         mode,
+				RoundTimeout: 30 * netsim.Second,
+			},
+			train, test, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := nt.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	trim := run(collective.Trimmable, netsim.TrimOverflow)
+	rel := run(collective.Reliable, netsim.DropTail)
+	if trim.WallTotal >= rel.WallTotal {
+		t.Errorf("trim wall %v should beat reliable-under-drop wall %v",
+			trim.WallTotal, rel.WallTotal)
+	}
+}
+
+func TestNetworkedValidation(t *testing.T) {
+	train, test := testData()
+	if _, err := NewNetworked(Config{Workers: 2}, FabricConfig{}, train, test, 8); err == nil {
+		t.Error("baseline (nil scheme) should be rejected")
+	}
+}

@@ -1,0 +1,92 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableFormatting(t *testing.T) {
+	tab := NewTable("demo", "a", "bee", "c")
+	tab.Add(1, 2.5, "x")
+	tab.Add(1000.0, 0.123456, "-")
+	var buf bytes.Buffer
+	if _, err := tab.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "## demo") || !strings.Contains(out, "bee") {
+		t.Fatalf("bad table:\n%s", out)
+	}
+	var csv bytes.Buffer
+	if err := tab.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "a,bee,c\n") {
+		t.Fatalf("bad csv:\n%s", csv.String())
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig3", "fig4", "fig5", "baseline-drops", "incast",
+		"multilevel", "wire-math", "layout", "compose", "fsdp",
+	}
+	for _, name := range want {
+		if _, ok := Lookup(name); !ok {
+			t.Errorf("experiment %q not registered", name)
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("unknown lookup should fail")
+	}
+	if len(Experiments()) < len(want) {
+		t.Errorf("only %d experiments registered", len(Experiments()))
+	}
+}
+
+// TestAllExperimentsQuick smoke-runs every experiment in quick mode and
+// checks each produces a table.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment sweep skipped in -short")
+	}
+	for _, r := range Experiments() {
+		r := r
+		t.Run(r.Name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := r.Run(&buf, Options{Quick: true, Seed: 1}); err != nil {
+				t.Fatalf("%s: %v", r.Name, err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, "##") {
+				t.Fatalf("%s produced no table:\n%s", r.Name, out)
+			}
+			if len(strings.Split(out, "\n")) < 4 {
+				t.Fatalf("%s produced a trivially small table:\n%s", r.Name, out)
+			}
+		})
+	}
+}
+
+func TestWireMathMatchesPaper(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runWireMath(&buf, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// The paper's idealized accounting gives ≈94% compression.
+	if !strings.Contains(out, "94.") {
+		t.Errorf("expected the paper's ~94%% ratio:\n%s", out)
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runWireMath(&buf, Options{CSV: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "accounting,") {
+		t.Fatalf("csv output wrong:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,131 @@
+// Package fwht implements the fast Walsh-Hadamard transform and the
+// Randomized Hadamard Transform (RHT) used by the paper's DRIVE-style 1-bit
+// gradient encoding (§3.2).
+//
+// The RHT of a row x is R_s(x) = (1/√n)·H·D_s·x, where H is the n×n
+// Hadamard matrix (n a power of two) and D_s is a random ±1 diagonal derived
+// from a shared seed s. Because (1/√n)·H is orthogonal and D_s is its own
+// inverse, the transform is an isometry: it preserves the L2 norm and is
+// exactly invertible. After rotation the coordinates are approximately
+// i.i.d. Gaussian with zero mean, which is what makes the 1-bit sign head
+// an effective standalone compression.
+//
+// The paper splits each collective-communication blob into rows of
+// 2^15 = 32768 entries so each row fits in GPU L1 shared memory; DefaultRowSize
+// mirrors that constant and SplitRows implements the same padding/split.
+package fwht
+
+import (
+	"math"
+
+	"trimgrad/internal/vecmath"
+	"trimgrad/internal/xrand"
+)
+
+// DefaultRowSize is the row length the paper uses for per-row RHT (2^15).
+const DefaultRowSize = 1 << 15
+
+// Transform applies the (unnormalized) Walsh-Hadamard transform to v in
+// place. len(v) must be a power of two; Transform panics otherwise.
+// Applying Transform twice multiplies v by len(v).
+func Transform(v []float32) {
+	n := len(v)
+	if !vecmath.IsPow2(n) {
+		panic("fwht: length is not a power of two")
+	}
+	for h := 1; h < n; h <<= 1 {
+		for i := 0; i < n; i += h << 1 {
+			for j := i; j < i+h; j++ {
+				x, y := v[j], v[j+h]
+				v[j], v[j+h] = x+y, x-y
+			}
+		}
+	}
+}
+
+// Normalized applies the orthonormal Walsh-Hadamard transform H/√n to v in
+// place. Applying it twice is the identity (up to floating-point error).
+func Normalized(v []float32) {
+	Transform(v)
+	vecmath.Scale(v, float32(1/math.Sqrt(float64(len(v)))))
+}
+
+// applySignDiagonal multiplies v element-wise by the ±1 diagonal derived
+// from seed: bit=1 means negate. The same seed always yields the same
+// diagonal, which is how sender and receiver share D_s.
+func applySignDiagonal(v []float32, seed uint64) {
+	r := xrand.New(seed)
+	n := len(v)
+	i := 0
+	for i < n {
+		w := r.Uint64()
+		m := 64
+		if n-i < m {
+			m = n - i
+		}
+		for b := 0; b < m; b++ {
+			if w>>uint(b)&1 == 1 {
+				v[i+b] = -v[i+b]
+			}
+		}
+		i += m
+	}
+}
+
+// RandomRotate applies the RHT R_s(v) = (1/√n)·H·D_s·v in place.
+// len(v) must be a power of two.
+func RandomRotate(v []float32, seed uint64) {
+	applySignDiagonal(v, seed)
+	Normalized(v)
+}
+
+// InverseRandomRotate undoes RandomRotate with the same seed:
+// v = D_s·(H/√n)·y.
+func InverseRandomRotate(v []float32, seed uint64) {
+	Normalized(v)
+	applySignDiagonal(v, seed)
+}
+
+// SplitRows splits v into rows of rowSize entries, zero-padding the final
+// row. rowSize must be a positive power of two. Rows are fresh allocations;
+// they do not alias v.
+func SplitRows(v []float32, rowSize int) [][]float32 {
+	if !vecmath.IsPow2(rowSize) {
+		panic("fwht: rowSize is not a power of two")
+	}
+	if len(v) == 0 {
+		return nil
+	}
+	nRows := (len(v) + rowSize - 1) / rowSize
+	rows := make([][]float32, nRows)
+	backing := make([]float32, nRows*rowSize)
+	copy(backing, v)
+	for i := range rows {
+		rows[i] = backing[i*rowSize : (i+1)*rowSize]
+	}
+	return rows
+}
+
+// JoinRows concatenates rows and truncates to length n, reversing SplitRows.
+func JoinRows(rows [][]float32, n int) []float32 {
+	out := make([]float32, 0, n)
+	for _, r := range rows {
+		out = append(out, r...)
+	}
+	if len(out) < n {
+		panic("fwht: JoinRows has fewer elements than requested")
+	}
+	return out[:n]
+}
+
+// UnbiasedScale computes the DRIVE scale factor f = ‖V‖²₂ / ‖R(V)‖₁ used to
+// decode sign bits without bias: E[IRHT(f·sign(R(V)))] = V. original is the
+// pre-rotation row, rotated the post-rotation row. Returns 0 for an
+// all-zero row.
+func UnbiasedScale(original, rotated []float32) float64 {
+	l1 := vecmath.L1Norm(rotated)
+	if l1 == 0 {
+		return 0
+	}
+	return vecmath.L2NormSquared(original) / l1
+}

@@ -1,0 +1,67 @@
+package ml
+
+import "math"
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss of logits
+// against integer labels and the gradient ∂L/∂logits (already divided by
+// the batch size, matching PyTorch's mean reduction).
+func SoftmaxCrossEntropy(logits [][]float32, labels []int) (loss float64, grad [][]float32) {
+	if len(logits) != len(labels) {
+		panic("ml: logits/labels length mismatch")
+	}
+	n := len(logits)
+	grad = make([][]float32, n)
+	for s, row := range logits {
+		y := labels[s]
+		if y < 0 || y >= len(row) {
+			panic("ml: label out of range")
+		}
+		// Numerically stable softmax.
+		maxV := row[0]
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		exps := make([]float64, len(row))
+		for i, v := range row {
+			e := math.Exp(float64(v - maxV))
+			exps[i] = e
+			sum += e
+		}
+		loss += -math.Log(exps[y]/sum + 1e-45)
+		g := make([]float32, len(row))
+		for i := range row {
+			p := exps[i] / sum
+			if i == y {
+				p -= 1
+			}
+			g[i] = float32(p / float64(n))
+		}
+		grad[s] = g
+	}
+	return loss / float64(n), grad
+}
+
+// Softmax returns the probability rows for logits (used by inference
+// examples).
+func Softmax(logits []float32) []float32 {
+	maxV := logits[0]
+	for _, v := range logits {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var sum float64
+	out := make([]float32, len(logits))
+	for i, v := range logits {
+		e := math.Exp(float64(v - maxV))
+		out[i] = float32(e)
+		sum += e
+	}
+	for i := range out {
+		out[i] = float32(float64(out[i]) / sum)
+	}
+	return out
+}

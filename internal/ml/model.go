@@ -1,0 +1,272 @@
+// Package ml is a compact, deterministic deep-learning stack: dense
+// layers with ReLU activations, softmax cross-entropy, SGD with momentum
+// and a StepLR schedule — the pieces needed to reproduce the paper's
+// training-quality experiments (§4) without PyTorch or a GPU.
+//
+// The paper trains VGG-19 on CIFAR-100; offline and on CPU we substitute
+// an MLP on a synthetic 100-class Gaussian-mixture task (see data.go and
+// DESIGN.md). What the experiments measure — how gradient-compression
+// error from trimming changes convergence — only requires a non-convex
+// model with dense, roughly zero-centred gradients, which this provides.
+//
+// All parameters live in one flat []float32 and all gradients in another,
+// so the distributed trainer can hand the entire gradient to the trimmable
+// encoder exactly as DDP hands buckets to its communication hook.
+package ml
+
+import (
+	"fmt"
+	"math"
+
+	"trimgrad/internal/xrand"
+)
+
+// Layer is one differentiable stage of a model.
+type Layer interface {
+	// Forward computes outputs for a batch (rows are samples). When train
+	// is true the layer may cache activations for Backward.
+	Forward(x [][]float32, train bool) [][]float32
+	// Backward consumes ∂L/∂output, accumulates parameter gradients, and
+	// returns ∂L/∂input.
+	Backward(gradOut [][]float32) [][]float32
+	// ParamCount returns how many scalars of the flat buffers this layer
+	// owns.
+	ParamCount() int
+	// bind points the layer at its slices of the model's parameter and
+	// gradient buffers.
+	bind(params, grads []float32)
+	// initialize fills the layer's parameters.
+	initialize(rng *xrand.Rand)
+}
+
+// Dense is a fully-connected layer: y = xW + b, with W stored row-major
+// (In×Out).
+type Dense struct {
+	In, Out int
+	w, b    []float32
+	dw, db  []float32
+	x       [][]float32 // cached input for backward
+}
+
+// NewDense returns an uninitialized dense layer.
+func NewDense(in, out int) *Dense { return &Dense{In: in, Out: out} }
+
+// ParamCount implements Layer.
+func (d *Dense) ParamCount() int { return d.In*d.Out + d.Out }
+
+func (d *Dense) bind(params, grads []float32) {
+	nw := d.In * d.Out
+	d.w, d.b = params[:nw], params[nw:nw+d.Out]
+	d.dw, d.db = grads[:nw], grads[nw:nw+d.Out]
+}
+
+func (d *Dense) initialize(rng *xrand.Rand) {
+	// He initialization, appropriate for the ReLU nonlinearity.
+	std := math.Sqrt(2 / float64(d.In))
+	for i := range d.w {
+		d.w[i] = float32(rng.NormFloat64() * std)
+	}
+	for i := range d.b {
+		d.b[i] = 0
+	}
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x [][]float32, train bool) [][]float32 {
+	if train {
+		d.x = x
+	}
+	out := make([][]float32, len(x))
+	for s, row := range x {
+		if len(row) != d.In {
+			panic(fmt.Sprintf("ml: dense expects %d inputs, got %d", d.In, len(row)))
+		}
+		y := make([]float32, d.Out)
+		copy(y, d.b)
+		for i, xi := range row {
+			if xi == 0 {
+				continue
+			}
+			wRow := d.w[i*d.Out : (i+1)*d.Out]
+			for j, wij := range wRow {
+				y[j] += xi * wij
+			}
+		}
+		out[s] = y
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(gradOut [][]float32) [][]float32 {
+	if d.x == nil {
+		panic("ml: dense backward before forward(train)")
+	}
+	gradIn := make([][]float32, len(gradOut))
+	for s, gy := range gradOut {
+		x := d.x[s]
+		gx := make([]float32, d.In)
+		for i, xi := range x {
+			wRow := d.w[i*d.Out : (i+1)*d.Out]
+			dwRow := d.dw[i*d.Out : (i+1)*d.Out]
+			var acc float32
+			for j, g := range gy {
+				acc += g * wRow[j]
+				dwRow[j] += xi * g
+			}
+			gx[i] = acc
+		}
+		for j, g := range gy {
+			d.db[j] += g
+		}
+		gradIn[s] = gx
+	}
+	return gradIn
+}
+
+// ReLU is the rectified-linear activation.
+type ReLU struct {
+	mask [][]bool
+}
+
+// NewReLU returns a ReLU layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// ParamCount implements Layer.
+func (r *ReLU) ParamCount() int              { return 0 }
+func (r *ReLU) bind(params, grads []float32) {}
+func (r *ReLU) initialize(rng *xrand.Rand)   {}
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x [][]float32, train bool) [][]float32 {
+	out := make([][]float32, len(x))
+	if train {
+		r.mask = make([][]bool, len(x))
+	}
+	for s, row := range x {
+		y := make([]float32, len(row))
+		var m []bool
+		if train {
+			m = make([]bool, len(row))
+		}
+		for i, v := range row {
+			if v > 0 {
+				y[i] = v
+				if train {
+					m[i] = true
+				}
+			}
+		}
+		out[s] = y
+		if train {
+			r.mask[s] = m
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(gradOut [][]float32) [][]float32 {
+	if r.mask == nil {
+		panic("ml: relu backward before forward(train)")
+	}
+	gradIn := make([][]float32, len(gradOut))
+	for s, gy := range gradOut {
+		gx := make([]float32, len(gy))
+		for i, g := range gy {
+			if r.mask[s][i] {
+				gx[i] = g
+			}
+		}
+		gradIn[s] = gx
+	}
+	return gradIn
+}
+
+// Model is a feed-forward stack of layers over flat parameter/gradient
+// buffers.
+type Model struct {
+	layers []Layer
+	params []float32
+	grads  []float32
+}
+
+// NewModel assembles layers, allocates the flat buffers, and initializes
+// parameters deterministically from seed.
+func NewModel(seed uint64, layers ...Layer) *Model {
+	total := 0
+	for _, l := range layers {
+		total += l.ParamCount()
+	}
+	m := &Model{
+		layers: layers,
+		params: make([]float32, total),
+		grads:  make([]float32, total),
+	}
+	off := 0
+	rng := xrand.New(seed)
+	for _, l := range layers {
+		n := l.ParamCount()
+		l.bind(m.params[off:off+n], m.grads[off:off+n])
+		l.initialize(rng)
+		off += n
+	}
+	return m
+}
+
+// NewMLP builds Dense+ReLU stacks: sizes[0] inputs, hidden layers, and
+// sizes[len-1] output logits.
+func NewMLP(seed uint64, sizes ...int) *Model {
+	if len(sizes) < 2 {
+		panic("ml: MLP needs at least input and output sizes")
+	}
+	var layers []Layer
+	for i := 0; i < len(sizes)-1; i++ {
+		layers = append(layers, NewDense(sizes[i], sizes[i+1]))
+		if i < len(sizes)-2 {
+			layers = append(layers, NewReLU())
+		}
+	}
+	return NewModel(seed, layers...)
+}
+
+// Forward runs the batch through all layers.
+func (m *Model) Forward(x [][]float32, train bool) [][]float32 {
+	for _, l := range m.layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward propagates ∂L/∂logits through all layers, accumulating
+// parameter gradients.
+func (m *Model) Backward(gradLogits [][]float32) {
+	g := gradLogits
+	for i := len(m.layers) - 1; i >= 0; i-- {
+		g = m.layers[i].Backward(g)
+	}
+}
+
+// ZeroGrad clears the gradient buffer.
+func (m *Model) ZeroGrad() {
+	for i := range m.grads {
+		m.grads[i] = 0
+	}
+}
+
+// Params returns the live flat parameter buffer.
+func (m *Model) Params() []float32 { return m.params }
+
+// Grads returns the live flat gradient buffer.
+func (m *Model) Grads() []float32 { return m.grads }
+
+// SetParams overwrites all parameters (used to sync replicas).
+func (m *Model) SetParams(p []float32) {
+	if len(p) != len(m.params) {
+		panic("ml: SetParams length mismatch")
+	}
+	copy(m.params, p)
+}
+
+// NumParams returns the total parameter count.
+func (m *Model) NumParams() int { return len(m.params) }

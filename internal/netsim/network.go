@@ -1,0 +1,328 @@
+package netsim
+
+import (
+	"fmt"
+
+	"trimgrad/internal/xrand"
+)
+
+// LinkConfig describes one direction of a full-duplex link.
+type LinkConfig struct {
+	// Bandwidth in bits per second.
+	Bandwidth int64
+	// Delay is the one-way propagation delay.
+	Delay Time
+}
+
+// Gbps converts gigabits per second to bits per second.
+func Gbps(g float64) int64 { return int64(g * 1e9) }
+
+// Mbps converts megabits per second to bits per second.
+func Mbps(m float64) int64 { return int64(m * 1e6) }
+
+// QueueMode selects the overflow behaviour of a switch output queue.
+type QueueMode uint8
+
+const (
+	// DropTail drops packets that do not fit (the conventional baseline).
+	DropTail QueueMode = iota
+	// TrimOverflow trims overflowing packets to their head boundary and
+	// forwards them in the high-priority queue (NDP-style).
+	TrimOverflow
+)
+
+// QueueConfig configures the output queues of a node's ports.
+type QueueConfig struct {
+	// CapacityBytes bounds the normal-priority queue (a shallow buffer,
+	// e.g. 100 kB per port).
+	CapacityBytes int
+	// HighCapacityBytes bounds the high-priority queue carrying trimmed
+	// headers and control packets. Zero means CapacityBytes/4.
+	HighCapacityBytes int
+	// Mode selects drop vs. trim on overflow.
+	Mode QueueMode
+	// ECNThresholdBytes marks ECE on enqueue when the normal queue
+	// exceeds this depth. Zero disables marking.
+	ECNThresholdBytes int
+	// TrimTarget is the post-trim wire size in bytes; zero means trim to
+	// the minimum (head boundary). §5.1's multi-level trimming uses
+	// larger targets.
+	TrimTarget int
+	// LossRate drops packets uniformly at random on enqueue (in addition
+	// to overflow behaviour), modelling corruption or upstream loss for
+	// the §4.4 drop-tolerance sweep. Control packets (PrioHigh) are also
+	// subject to it.
+	LossRate float64
+	// LossSeed seeds the random-loss stream.
+	LossSeed uint64
+}
+
+func (q QueueConfig) withDefaults() QueueConfig {
+	if q.CapacityBytes == 0 {
+		q.CapacityBytes = 100 << 10
+	}
+	if q.HighCapacityBytes == 0 {
+		q.HighCapacityBytes = q.CapacityBytes / 4
+	}
+	return q
+}
+
+// Node is anything attachable to the network fabric.
+type Node interface {
+	ID() NodeID
+	// Deliver is invoked by the simulator when a packet arrives.
+	Deliver(pkt *Packet)
+	// attach creates this node's outgoing port toward peer.
+	attach(peer Node, link LinkConfig)
+}
+
+// Network owns the topology: nodes and the links between them.
+type Network struct {
+	Sim   *Sim
+	nodes map[NodeID]Node
+}
+
+// NewNetwork returns an empty network driven by sim.
+func NewNetwork(sim *Sim) *Network {
+	return &Network{Sim: sim, nodes: make(map[NodeID]Node)}
+}
+
+// Node returns the node with the given id, or nil.
+func (n *Network) Node(id NodeID) Node { return n.nodes[id] }
+
+func (n *Network) register(node Node) {
+	if _, dup := n.nodes[node.ID()]; dup {
+		panic(fmt.Sprintf("netsim: duplicate node id %d", node.ID()))
+	}
+	n.nodes[node.ID()] = node
+}
+
+// AddHost creates a host endpoint.
+func (n *Network) AddHost(id NodeID) *Host {
+	h := &Host{id: id, sim: n.Sim}
+	n.register(h)
+	return h
+}
+
+// AddSwitch creates a switch whose ports use cfg.
+func (n *Network) AddSwitch(id NodeID, cfg QueueConfig) *Switch {
+	sw := &Switch{
+		id:     id,
+		sim:    n.Sim,
+		cfg:    cfg.withDefaults(),
+		ports:  make(map[NodeID]*Port),
+		routes: make(map[NodeID]NodeID),
+	}
+	n.register(sw)
+	return sw
+}
+
+// Connect wires a full-duplex link between two nodes.
+func (n *Network) Connect(a, b NodeID, link LinkConfig) {
+	na, nb := n.nodes[a], n.nodes[b]
+	if na == nil || nb == nil {
+		panic(fmt.Sprintf("netsim: connect unknown nodes %d-%d", a, b))
+	}
+	na.attach(nb, link)
+	nb.attach(na, link)
+}
+
+// PortStats counts what happened at one output port.
+type PortStats struct {
+	Enqueued      int
+	Transmitted   int
+	Dropped       int
+	DroppedBytes  int
+	Trimmed       int
+	ECNMarked     int
+	MaxQueueBytes int
+}
+
+// Port is one output port: a two-priority byte-bounded queue feeding a
+// transmitter with finite bandwidth and propagation delay.
+type Port struct {
+	sim     *Sim
+	peer    Node
+	link    LinkConfig
+	cfg     QueueConfig
+	q       [2][]*Packet // index by Priority
+	bytes   [2]int
+	busy    bool
+	lossRNG *xrand.Rand
+	Stats   PortStats
+}
+
+func newPort(sim *Sim, peer Node, link LinkConfig, cfg QueueConfig) *Port {
+	if link.Bandwidth <= 0 {
+		panic("netsim: link bandwidth must be positive")
+	}
+	p := &Port{sim: sim, peer: peer, link: link, cfg: cfg.withDefaults()}
+	if p.cfg.LossRate > 0 {
+		p.lossRNG = xrand.New(xrand.Seed(p.cfg.LossSeed, uint64(peer.ID())))
+	}
+	return p
+}
+
+// QueuedBytes returns the current total queue depth in bytes.
+func (p *Port) QueuedBytes() int { return p.bytes[PrioNormal] + p.bytes[PrioHigh] }
+
+// Enqueue admits a packet to the port, applying ECN marking and the
+// configured overflow policy. It starts the transmitter if idle.
+func (p *Port) Enqueue(pkt *Packet) {
+	if p.lossRNG != nil && p.lossRNG.Float64() < p.cfg.LossRate {
+		p.Stats.Dropped++
+		p.Stats.DroppedBytes += pkt.Size
+		return
+	}
+	if p.cfg.ECNThresholdBytes > 0 && p.bytes[PrioNormal] >= p.cfg.ECNThresholdBytes {
+		pkt.ECE = true
+		p.Stats.ECNMarked++
+	}
+	cap := p.cfg.CapacityBytes
+	if pkt.Prio == PrioHigh {
+		cap = p.cfg.HighCapacityBytes
+	}
+	if p.bytes[pkt.Prio]+pkt.Size > cap {
+		// Overflow: trim if allowed and useful, otherwise drop.
+		if p.cfg.Mode == TrimOverflow && pkt.Prio == PrioNormal && pkt.Trimmable() {
+			if pkt.TrimTo(p.cfg.TrimTarget) {
+				p.Stats.Trimmed++
+				if p.bytes[PrioHigh]+pkt.Size <= p.cfg.HighCapacityBytes {
+					p.push(pkt)
+					return
+				}
+			}
+		}
+		p.Stats.Dropped++
+		p.Stats.DroppedBytes += pkt.Size
+		return
+	}
+	p.push(pkt)
+}
+
+func (p *Port) push(pkt *Packet) {
+	p.q[pkt.Prio] = append(p.q[pkt.Prio], pkt)
+	p.bytes[pkt.Prio] += pkt.Size
+	p.Stats.Enqueued++
+	if depth := p.QueuedBytes(); depth > p.Stats.MaxQueueBytes {
+		p.Stats.MaxQueueBytes = depth
+	}
+	if !p.busy {
+		p.transmitNext()
+	}
+}
+
+func (p *Port) transmitNext() {
+	var pkt *Packet
+	for _, prio := range []Priority{PrioHigh, PrioNormal} {
+		if len(p.q[prio]) > 0 {
+			pkt = p.q[prio][0]
+			p.q[prio] = p.q[prio][1:]
+			p.bytes[prio] -= pkt.Size
+			break
+		}
+	}
+	if pkt == nil {
+		p.busy = false
+		return
+	}
+	p.busy = true
+	tx := Time(int64(pkt.Size) * 8 * int64(Second) / p.link.Bandwidth)
+	p.sim.After(tx, func() {
+		p.Stats.Transmitted++
+		// Propagation overlaps with the next serialization.
+		arrival := p.link.Delay
+		peer := p.peer
+		p.sim.After(arrival, func() { peer.Deliver(pkt) })
+		p.transmitNext()
+	})
+}
+
+// Switch is an output-queued switch with static routes.
+type Switch struct {
+	id     NodeID
+	sim    *Sim
+	cfg    QueueConfig
+	ports  map[NodeID]*Port // keyed by next-hop node id
+	routes map[NodeID]NodeID
+	// RouteMisses counts packets with no route (dropped).
+	RouteMisses int
+}
+
+// ID implements Node.
+func (s *Switch) ID() NodeID { return s.id }
+
+func (s *Switch) attach(peer Node, link LinkConfig) {
+	s.ports[peer.ID()] = newPort(s.sim, peer, link, s.cfg)
+	// A directly-connected peer routes to itself by default.
+	s.routes[peer.ID()] = peer.ID()
+}
+
+// SetRoute directs traffic for dst through nextHop (which must be a
+// connected neighbour by the time packets flow).
+func (s *Switch) SetRoute(dst, nextHop NodeID) { s.routes[dst] = nextHop }
+
+// Port returns the output port toward a neighbour (for statistics).
+func (s *Switch) Port(neighbour NodeID) *Port { return s.ports[neighbour] }
+
+// Deliver implements Node: route and enqueue.
+func (s *Switch) Deliver(pkt *Packet) {
+	next, ok := s.routes[pkt.Dst]
+	if !ok {
+		s.RouteMisses++
+		return
+	}
+	port, ok := s.ports[next]
+	if !ok {
+		s.RouteMisses++
+		return
+	}
+	port.Enqueue(pkt)
+}
+
+// hostQueue is the generous NIC queue used by hosts; hosts do not drop in
+// these experiments — the bottleneck is the fabric.
+var hostQueue = QueueConfig{CapacityBytes: 64 << 20, HighCapacityBytes: 8 << 20}
+
+// Host is an endpoint. Incoming packets go to Handler.
+type Host struct {
+	id     NodeID
+	sim    *Sim
+	uplink *Port
+	// Handler receives every packet addressed to this host. It runs at
+	// packet-arrival simulation time.
+	Handler func(pkt *Packet)
+}
+
+// ID implements Node.
+func (h *Host) ID() NodeID { return h.id }
+
+func (h *Host) attach(peer Node, link LinkConfig) {
+	if h.uplink != nil {
+		panic(fmt.Sprintf("netsim: host %d already attached", h.id))
+	}
+	h.uplink = newPort(h.sim, peer, link, hostQueue)
+}
+
+// Deliver implements Node.
+func (h *Host) Deliver(pkt *Packet) {
+	if h.Handler != nil {
+		h.Handler(pkt)
+	}
+}
+
+// Send transmits a packet out of the host's NIC. The source field is
+// stamped automatically.
+func (h *Host) Send(pkt *Packet) {
+	if h.uplink == nil {
+		panic(fmt.Sprintf("netsim: host %d is not attached", h.id))
+	}
+	pkt.Src = h.id
+	h.uplink.Enqueue(pkt)
+}
+
+// Uplink returns the host NIC port (for statistics).
+func (h *Host) Uplink() *Port { return h.uplink }
+
+// Sim returns the simulator driving this host.
+func (h *Host) Sim() *Sim { return h.sim }

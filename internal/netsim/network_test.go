@@ -1,0 +1,366 @@
+package netsim
+
+import (
+	"testing"
+
+	"trimgrad/internal/quant"
+	"trimgrad/internal/wire"
+	"trimgrad/internal/xrand"
+)
+
+func fastLink() LinkConfig {
+	return LinkConfig{Bandwidth: Gbps(100), Delay: Microsecond}
+}
+
+// buildGradPacket builds a real trimgrad data packet wrapped in a sim
+// Packet, so switches can trim it.
+func buildGradPacket(t *testing.T, dst NodeID, n int) *Packet {
+	t.Helper()
+	r := xrand.New(42)
+	row := make([]float32, n)
+	for i := range row {
+		row[i] = float32(r.NormFloat64())
+	}
+	c := quant.MustNew(quant.Params{Scheme: quant.Sign})
+	enc, err := c.Encode(row, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, data, err := wire.PackRow(1, 1, 0, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Packet{
+		Dst:     dst,
+		Size:    len(data[0]) + wire.NetOverhead,
+		Payload: data[0],
+		Kind:    "data",
+	}
+}
+
+func TestPointToPointDelivery(t *testing.T) {
+	sim := NewSim()
+	star := BuildStar(sim, 2, fastLink(), QueueConfig{})
+	var got *Packet
+	var at Time
+	star.Hosts[1].Handler = func(p *Packet) { got, at = p, sim.Now() }
+	pkt := &Packet{Dst: 1, Size: 1500, Kind: "test"}
+	star.Hosts[0].Send(pkt)
+	sim.Run()
+	if got == nil {
+		t.Fatal("packet not delivered")
+	}
+	if got.Src != 0 {
+		t.Errorf("src = %d", got.Src)
+	}
+	// Two serializations (host NIC + switch port) and two propagation
+	// delays: 2·(1500·8/100G) + 2·1µs = 2·120ns + 2000ns = 2240ns.
+	want := Time(2240)
+	if at != want {
+		t.Errorf("delivery at %v, want %v", at, want)
+	}
+}
+
+func TestBandwidthSerialization(t *testing.T) {
+	// 10 packets of 1250 bytes at 1 Gbps = 10 µs each → last arrives
+	// after ≈ 10·10µs (+ propagation, + second hop).
+	sim := NewSim()
+	link := LinkConfig{Bandwidth: Gbps(1), Delay: 0}
+	star := BuildStar(sim, 2, link, QueueConfig{CapacityBytes: 1 << 20})
+	var last Time
+	n := 0
+	star.Hosts[1].Handler = func(p *Packet) { last = sim.Now(); n++ }
+	for i := 0; i < 10; i++ {
+		star.Hosts[0].Send(&Packet{Dst: 1, Size: 1250})
+	}
+	sim.Run()
+	if n != 10 {
+		t.Fatalf("delivered %d/10", n)
+	}
+	// Host NIC serializes packets back to back: packet i departs host at
+	// (i+1)·10µs, then one more 10µs serialization at the switch.
+	want := Time(11 * 10 * Microsecond)
+	if last != want {
+		t.Errorf("last delivery %v, want %v", last, want)
+	}
+}
+
+func TestDropTailOverflow(t *testing.T) {
+	sim := NewSim()
+	// Tiny switch buffer: 3000 bytes ≈ 2 MTU packets.
+	q := QueueConfig{CapacityBytes: 3000, Mode: DropTail}
+	star := BuildStar(sim, 3, LinkConfig{Bandwidth: Mbps(10), Delay: 0}, q)
+	delivered := 0
+	star.Hosts[2].Handler = func(p *Packet) { delivered++ }
+	// Two senders blast 20 packets each instantly into a 10 Mbps fabric.
+	for i := 0; i < 20; i++ {
+		star.Hosts[0].Send(&Packet{Dst: 2, Size: 1500})
+		star.Hosts[1].Send(&Packet{Dst: 2, Size: 1500})
+	}
+	sim.Run()
+	drops := star.Switch.Port(2).Stats.Dropped
+	if drops == 0 {
+		t.Fatal("expected drops at the switch")
+	}
+	if delivered+drops != 40 {
+		t.Fatalf("delivered %d + dropped %d != 40", delivered, drops)
+	}
+}
+
+func TestTrimOverflowTrimsGradients(t *testing.T) {
+	sim := NewSim()
+	q := QueueConfig{CapacityBytes: 3000, Mode: TrimOverflow}
+	star := BuildStar(sim, 3, LinkConfig{Bandwidth: Mbps(10), Delay: 0}, q)
+	var full, trimmed int
+	star.Hosts[2].Handler = func(p *Packet) {
+		if p.Trimmed {
+			trimmed++
+			if p.Prio != PrioHigh {
+				t.Error("trimmed packet should be high priority")
+			}
+			if _, err := wire.ParseDataPacket(p.Payload); err != nil {
+				t.Errorf("trimmed payload unparseable: %v", err)
+			}
+		} else {
+			full++
+		}
+	}
+	for i := 0; i < 20; i++ {
+		star.Hosts[0].Send(buildGradPacket(t, 2, 300))
+		star.Hosts[1].Send(buildGradPacket(t, 2, 300))
+	}
+	sim.Run()
+	st := star.Switch.Port(2).Stats
+	if st.Trimmed == 0 {
+		t.Fatal("expected trimming at the switch")
+	}
+	if full+trimmed+st.Dropped != 40 {
+		t.Fatalf("full %d + trimmed %d + dropped %d != 40", full, trimmed, st.Dropped)
+	}
+	if trimmed == 0 {
+		t.Fatal("no trimmed packets arrived")
+	}
+	// Trimming-mode drops should be far fewer than the drop-mode case
+	// with identical load (every gradient packet is trimmable).
+	if st.Dropped > 5 {
+		t.Errorf("%d drops despite trimming", st.Dropped)
+	}
+}
+
+func TestOpaqueTrafficCannotBeTrimmed(t *testing.T) {
+	sim := NewSim()
+	q := QueueConfig{CapacityBytes: 3000, Mode: TrimOverflow}
+	star := BuildStar(sim, 3, LinkConfig{Bandwidth: Mbps(10), Delay: 0}, q)
+	for i := 0; i < 20; i++ {
+		star.Hosts[0].Send(&Packet{Dst: 2, Size: 1500, Kind: "cross"})
+		star.Hosts[1].Send(&Packet{Dst: 2, Size: 1500, Kind: "cross"})
+	}
+	sim.Run()
+	st := star.Switch.Port(2).Stats
+	if st.Trimmed != 0 {
+		t.Error("opaque packets must not be trimmed")
+	}
+	if st.Dropped == 0 {
+		t.Error("opaque overflow should drop")
+	}
+}
+
+func TestMetaPacketsNeverTrimmed(t *testing.T) {
+	sim := NewSim()
+	q := QueueConfig{CapacityBytes: 3000, HighCapacityBytes: 3000, Mode: TrimOverflow}
+	star := BuildStar(sim, 3, LinkConfig{Bandwidth: Mbps(1), Delay: 0}, q)
+	meta := wire.BuildMetaPacket(wire.Header{Flow: 1}, 1, 100, 2.0)
+	deliveredMeta := 0
+	star.Hosts[2].Handler = func(p *Packet) {
+		if p.Kind == "meta" {
+			if p.Trimmed {
+				t.Error("metadata packet was trimmed")
+			}
+			deliveredMeta++
+		}
+	}
+	// Congest the output with bulk from host 1 while host 0 sends metas.
+	for i := 0; i < 20; i++ {
+		star.Hosts[1].Send(&Packet{Dst: 2, Size: 1500, Kind: "bulk"})
+	}
+	for i := 0; i < 5; i++ {
+		star.Hosts[0].Send(&Packet{
+			Dst: 2, Size: len(meta) + wire.NetOverhead,
+			Payload: append([]byte(nil), meta...),
+			Kind:    "meta", Prio: PrioHigh,
+		})
+	}
+	sim.Run()
+	if deliveredMeta == 0 {
+		t.Fatal("no metadata delivered")
+	}
+}
+
+func TestECNMarking(t *testing.T) {
+	sim := NewSim()
+	q := QueueConfig{CapacityBytes: 1 << 20, ECNThresholdBytes: 3000}
+	star := BuildStar(sim, 3, LinkConfig{Bandwidth: Mbps(10), Delay: 0}, q)
+	marked := 0
+	star.Hosts[2].Handler = func(p *Packet) {
+		if p.ECE {
+			marked++
+		}
+	}
+	for i := 0; i < 20; i++ {
+		star.Hosts[0].Send(&Packet{Dst: 2, Size: 1500})
+		star.Hosts[1].Send(&Packet{Dst: 2, Size: 1500})
+	}
+	sim.Run()
+	if marked == 0 {
+		t.Fatal("expected ECN marks")
+	}
+	if star.Switch.Port(2).Stats.ECNMarked != marked {
+		t.Error("mark accounting mismatch")
+	}
+}
+
+func TestHighPriorityOvertakes(t *testing.T) {
+	sim := NewSim()
+	star := BuildStar(sim, 2, LinkConfig{Bandwidth: Mbps(10), Delay: 0},
+		QueueConfig{CapacityBytes: 1 << 20})
+	var order []string
+	star.Hosts[1].Handler = func(p *Packet) { order = append(order, p.Kind) }
+	// Fill the switch queue with bulk, then send one high-priority packet.
+	// The host NIC serializes in order, but at the switch the high-prio
+	// packet overtakes the queued bulk.
+	for i := 0; i < 10; i++ {
+		star.Hosts[0].Send(&Packet{Dst: 1, Size: 1500, Kind: "bulk"})
+	}
+	star.Hosts[0].Send(&Packet{Dst: 1, Size: 100, Kind: "urgent", Prio: PrioHigh})
+	sim.Run()
+	if len(order) != 11 {
+		t.Fatalf("delivered %d", len(order))
+	}
+	pos := -1
+	for i, k := range order {
+		if k == "urgent" {
+			pos = i
+		}
+	}
+	if pos < 0 || pos >= 10 {
+		t.Errorf("urgent packet arrived at position %d, want overtaking", pos)
+	}
+}
+
+func TestDumbbellRouting(t *testing.T) {
+	sim := NewSim()
+	d := BuildDumbbell(sim, 2, 2, fastLink(), fastLink(), QueueConfig{})
+	got := map[NodeID]int{}
+	for _, h := range append(d.LeftHosts, d.RightHosts...) {
+		h := h
+		h.Handler = func(p *Packet) { got[h.ID()]++ }
+	}
+	// Left 0 → right 2 crosses the bottleneck; right 3 → left 1 too.
+	d.LeftHosts[0].Send(&Packet{Dst: 2, Size: 500})
+	d.RightHosts[1].Send(&Packet{Dst: 1, Size: 500})
+	sim.Run()
+	if got[2] != 1 || got[1] != 1 {
+		t.Fatalf("deliveries: %v", got)
+	}
+	if d.Left.RouteMisses+d.Right.RouteMisses != 0 {
+		t.Fatal("route misses")
+	}
+}
+
+func TestRingRouting(t *testing.T) {
+	sim := NewSim()
+	r := BuildRing(sim, 5, fastLink(), fastLink(), QueueConfig{})
+	got := map[NodeID]int{}
+	for _, h := range r.Hosts {
+		h := h
+		h.Handler = func(p *Packet) { got[h.ID()]++ }
+	}
+	// Every host sends to every other host.
+	for i, h := range r.Hosts {
+		for j := range r.Hosts {
+			if i != j {
+				h.Send(&Packet{Dst: NodeID(j), Size: 200})
+			}
+		}
+	}
+	sim.Run()
+	for _, h := range r.Hosts {
+		if got[h.ID()] != 4 {
+			t.Fatalf("host %d received %d, want 4", h.ID(), got[h.ID()])
+		}
+	}
+	for _, sw := range r.Switches {
+		if sw.RouteMisses != 0 {
+			t.Fatal("route misses in ring")
+		}
+	}
+}
+
+func TestRouteMissCounted(t *testing.T) {
+	sim := NewSim()
+	star := BuildStar(sim, 2, fastLink(), QueueConfig{})
+	star.Hosts[0].Send(&Packet{Dst: 99, Size: 100})
+	sim.Run()
+	if star.Switch.RouteMisses != 1 {
+		t.Fatalf("route misses = %d", star.Switch.RouteMisses)
+	}
+}
+
+func TestCrossTrafficPoisson(t *testing.T) {
+	sim := NewSim()
+	star := BuildStar(sim, 2, fastLink(), QueueConfig{CapacityBytes: 1 << 20})
+	n := 0
+	star.Hosts[1].Handler = func(p *Packet) { n++ }
+	ct := NewCrossTraffic(star.Hosts[0], 1, 1500, 1e6, 7) // 1M pkt/s
+	ct.Start()
+	sim.RunUntil(10 * Millisecond)
+	ct.Stop()
+	sim.Run()
+	// Expect ≈ rate·time = 10000 packets, allow ±20%.
+	if n < 8000 || n > 12000 {
+		t.Fatalf("cross traffic delivered %d, want ≈10000", n)
+	}
+}
+
+func TestFCTRecorder(t *testing.T) {
+	f := NewFCTRecorder()
+	if f.Percentile(0.5) != 0 || f.Mean() != 0 || f.Max() != 0 {
+		t.Fatal("empty recorder should report zeros")
+	}
+	for i := 1; i <= 100; i++ {
+		f.FlowStarted(uint64(i), 0)
+		f.FlowFinished(uint64(i), Time(i))
+	}
+	f.FlowFinished(999, 5) // unknown flow ignored
+	if f.Count() != 100 {
+		t.Fatalf("count = %d", f.Count())
+	}
+	if got := f.Percentile(0.99); got != 99 {
+		t.Errorf("p99 = %v", got)
+	}
+	if got := f.Percentile(1); got != 100 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := f.Percentile(0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := f.Mean(); got != 50 { // (1+..+100)/100 = 50.5 → integer 50
+		t.Errorf("mean = %v", got)
+	}
+	if got := f.Max(); got != 100 {
+		t.Errorf("max = %v", got)
+	}
+}
+
+func TestMaxQueueDepthTracked(t *testing.T) {
+	sim := NewSim()
+	star := BuildStar(sim, 2, LinkConfig{Bandwidth: Mbps(10), Delay: 0},
+		QueueConfig{CapacityBytes: 1 << 20})
+	for i := 0; i < 10; i++ {
+		star.Hosts[0].Send(&Packet{Dst: 1, Size: 1000})
+	}
+	sim.Run()
+	if star.Switch.Port(1).Stats.MaxQueueBytes == 0 {
+		t.Error("max queue depth not tracked")
+	}
+}

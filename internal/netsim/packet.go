@@ -1,0 +1,89 @@
+package netsim
+
+import "trimgrad/internal/wire"
+
+// NodeID identifies a host or switch in the network.
+type NodeID int
+
+// Priority selects the switch queue a packet travels in. Trimmed headers
+// and control packets ride the high-priority queue so congestion signals
+// overtake the payload backlog, as in NDP.
+type Priority uint8
+
+const (
+	// PrioNormal is the default payload priority.
+	PrioNormal Priority = iota
+	// PrioHigh is used for trimmed headers, acks, and metadata.
+	PrioHigh
+)
+
+// Packet is one simulated datagram. Size is the on-wire byte count
+// including network overhead; Payload optionally carries real trimgrad
+// wire-format bytes that switches know how to trim. Packets without a
+// Payload (cross traffic, acks) are opaque: they can only be dropped.
+type Packet struct {
+	Src, Dst NodeID
+	Size     int
+	Prio     Priority
+	// Payload holds trimgrad wire bytes; nil for opaque traffic.
+	Payload []byte
+	// FlowID tags the packet for flow-level statistics.
+	FlowID uint64
+	// Seq is a transport-assigned sequence number.
+	Seq uint64
+	// Kind is a free-form label for transports ("data", "ack", ...).
+	Kind string
+	// Control carries transport-level header fields (ack numbers, message
+	// ids). Simulated switches never inspect it.
+	Control any
+	// Trimmed is set by a switch that trimmed this packet.
+	Trimmed bool
+	// ECE carries an ECN congestion-experienced mark.
+	ECE bool
+}
+
+// Clone returns a shallow copy with its own Payload slice.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	if p.Payload != nil {
+		q.Payload = append([]byte(nil), p.Payload...)
+	}
+	return &q
+}
+
+// Trimmable reports whether the switch can usefully trim this packet:
+// it must carry a trimgrad payload that is not a metadata packet and not
+// already at its minimum size.
+func (p *Packet) Trimmable() bool {
+	if p.Payload == nil {
+		return false
+	}
+	h, err := wire.ParseHeader(p.Payload)
+	if err != nil || h.IsMeta() {
+		return false
+	}
+	minSize := wire.HeaderSize
+	if !h.IsNaive() {
+		minSize = h.TrimmedSize()
+	}
+	return len(p.Payload) > minSize
+}
+
+// TrimTo trims the payload toward target total wire bytes (payload +
+// NetOverhead) and updates Size, Trimmed, and Prio. It reports whether any
+// bytes were actually removed.
+func (p *Packet) TrimTo(target int) bool {
+	if p.Payload == nil {
+		return false
+	}
+	want := target - wire.NetOverhead
+	trimmed := wire.Trim(p.Payload, want)
+	if len(trimmed) >= len(p.Payload) {
+		return false
+	}
+	p.Payload = trimmed
+	p.Size = len(trimmed) + wire.NetOverhead
+	p.Trimmed = true
+	p.Prio = PrioHigh
+	return true
+}

@@ -1,0 +1,128 @@
+// Package netsim is a discrete-event simulator of a data-center network
+// with packet-trimming switches, the substrate the paper's motivation
+// (§1–§2) and future-work closed-loop studies (§5.1) rest on.
+//
+// The simulator models hosts, full-duplex links with finite bandwidth and
+// propagation delay, and output-queued switches with shallow buffers.
+// When a switch queue overflows it either tail-drops (the conventional
+// baseline) or trims the packet to its head boundary and forwards the
+// remainder in a small high-priority queue, as NDP/EODS-style fabrics and
+// the Ultra Ethernet trimming option do. Trimming understands the trimgrad
+// wire format of package wire: data packets shrink to their self-contained
+// compressed form, while metadata/control packets are never trimmed.
+//
+// Everything is deterministic: events at equal timestamps fire in schedule
+// order, and all randomness comes from explicit xrand seeds, so experiment
+// results are exactly reproducible.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is simulated time in nanoseconds since simulation start.
+type Time int64
+
+// Common durations (re-exported for convenience in experiment code).
+const (
+	Nanosecond  = Time(1)
+	Microsecond = 1000 * Nanosecond
+	Millisecond = 1000 * Microsecond
+	Second      = 1000 * Millisecond
+)
+
+// Duration converts to a time.Duration for printing.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds returns the time in floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time as a duration.
+func (t Time) String() string { return t.Duration().String() }
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() (popped any) {
+	old := *q
+	n := len(old)
+	popped = old[n-1]
+	*q = old[:n-1]
+	return
+}
+
+// Sim is a deterministic discrete-event scheduler. The zero value is not
+// usable; construct with NewSim.
+type Sim struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+	// Processed counts executed events (useful in tests and as a runaway
+	// guard).
+	Processed uint64
+}
+
+// NewSim returns an empty simulator at time zero.
+func NewSim() *Sim { return &Sim{} }
+
+// Now returns the current simulated time.
+func (s *Sim) Now() Time { return s.now }
+
+// At schedules fn at absolute time t. Scheduling in the past panics: that
+// is always a logic bug in a discrete-event model.
+func (s *Sim) At(t Time, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("netsim: scheduling at %v before now %v", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn d nanoseconds from now.
+func (s *Sim) After(d Time, fn func()) { s.At(s.now+d, fn) }
+
+// Stop makes Run return after the current event.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Run executes events until the queue is empty or Stop is called.
+func (s *Sim) Run() { s.RunUntil(Time(1<<62 - 1)) }
+
+// RunUntil executes events with timestamps ≤ deadline, advancing the clock
+// to each event's time. The clock finishes at min(deadline, last event).
+func (s *Sim) RunUntil(deadline Time) {
+	s.stopped = false
+	for len(s.queue) > 0 && !s.stopped {
+		ev := s.queue[0]
+		if ev.at > deadline {
+			s.now = deadline
+			return
+		}
+		heap.Pop(&s.queue)
+		s.now = ev.at
+		s.Processed++
+		ev.fn()
+	}
+	if s.now < deadline && deadline < Time(1<<62-1) {
+		s.now = deadline
+	}
+}
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return len(s.queue) }

@@ -1,0 +1,110 @@
+package netsim
+
+import (
+	"testing"
+)
+
+func TestSimOrdering(t *testing.T) {
+	s := NewSim()
+	var order []int
+	s.After(30, func() { order = append(order, 3) })
+	s.After(10, func() { order = append(order, 1) })
+	s.After(20, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 30 {
+		t.Fatalf("final time %v", s.Now())
+	}
+}
+
+func TestSimFIFOAtSameTime(t *testing.T) {
+	s := NewSim()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestSimNestedScheduling(t *testing.T) {
+	s := NewSim()
+	hits := 0
+	s.After(10, func() {
+		hits++
+		s.After(10, func() {
+			hits++
+			if s.Now() != 20 {
+				t.Errorf("inner event at %v", s.Now())
+			}
+		})
+	})
+	s.Run()
+	if hits != 2 {
+		t.Fatalf("hits = %d", hits)
+	}
+}
+
+func TestSimRunUntil(t *testing.T) {
+	s := NewSim()
+	fired := 0
+	s.At(10, func() { fired++ })
+	s.At(100, func() { fired++ })
+	s.RunUntil(50)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if s.Now() != 50 {
+		t.Fatalf("now = %v, want 50", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+	s.Run()
+	if fired != 2 || s.Now() != 100 {
+		t.Fatalf("after Run: fired=%d now=%v", fired, s.Now())
+	}
+}
+
+func TestSimStop(t *testing.T) {
+	s := NewSim()
+	fired := 0
+	s.At(1, func() { fired++; s.Stop() })
+	s.At(2, func() { fired++ })
+	s.Run()
+	if fired != 1 {
+		t.Fatalf("Stop did not halt: fired=%d", fired)
+	}
+}
+
+func TestSimPastSchedulingPanics(t *testing.T) {
+	s := NewSim()
+	s.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past should panic")
+			}
+		}()
+		s.At(5, func() {})
+	})
+	s.Run()
+}
+
+func TestTimeHelpers(t *testing.T) {
+	if Second != 1e9 {
+		t.Fatal("Second must be 1e9 ns")
+	}
+	if (500 * Millisecond).Seconds() != 0.5 {
+		t.Fatal("Seconds conversion")
+	}
+	if (2 * Microsecond).String() != "2µs" {
+		t.Fatalf("String: %v", (2 * Microsecond).String())
+	}
+}

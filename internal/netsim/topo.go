@@ -1,0 +1,118 @@
+package netsim
+
+// Topology builders used across the evaluation. Host IDs start at 0;
+// switch IDs start at 1000 to keep them visually distinct in traces.
+
+// SwitchIDBase is the first NodeID used for switches by the builders.
+const SwitchIDBase NodeID = 1000
+
+// Star is a single-switch topology: n hosts all connected to one switch —
+// the canonical incast scenario (§1's "collisions between different
+// traffic flows").
+type Star struct {
+	Net    *Network
+	Switch *Switch
+	Hosts  []*Host
+}
+
+// BuildStar creates a star of n hosts around one switch.
+func BuildStar(sim *Sim, n int, link LinkConfig, q QueueConfig) *Star {
+	net := NewNetwork(sim)
+	sw := net.AddSwitch(SwitchIDBase, q)
+	s := &Star{Net: net, Switch: sw}
+	for i := 0; i < n; i++ {
+		h := net.AddHost(NodeID(i))
+		net.Connect(h.ID(), sw.ID(), link)
+		s.Hosts = append(s.Hosts, h)
+	}
+	return s
+}
+
+// Dumbbell is the classic two-switch topology: left hosts — switch A —
+// bottleneck — switch B — right hosts. The inter-switch link is where
+// cross traffic and gradient traffic collide.
+type Dumbbell struct {
+	Net          *Network
+	Left, Right  *Switch
+	LeftHosts    []*Host
+	RightHosts   []*Host
+	BottleneckBW int64
+}
+
+// BuildDumbbell creates nLeft+nRight hosts around two switches joined by a
+// bottleneck link. Edge links use edge config; the inter-switch link uses
+// bottleneck config.
+func BuildDumbbell(sim *Sim, nLeft, nRight int, edge, bottleneck LinkConfig, q QueueConfig) *Dumbbell {
+	net := NewNetwork(sim)
+	left := net.AddSwitch(SwitchIDBase, q)
+	right := net.AddSwitch(SwitchIDBase+1, q)
+	net.Connect(left.ID(), right.ID(), bottleneck)
+	d := &Dumbbell{
+		Net: net, Left: left, Right: right,
+		BottleneckBW: bottleneck.Bandwidth,
+	}
+	for i := 0; i < nLeft; i++ {
+		h := net.AddHost(NodeID(i))
+		net.Connect(h.ID(), left.ID(), edge)
+		d.LeftHosts = append(d.LeftHosts, h)
+		// Right switch reaches left hosts via the left switch.
+		right.SetRoute(h.ID(), left.ID())
+	}
+	for i := 0; i < nRight; i++ {
+		h := net.AddHost(NodeID(nLeft + i))
+		net.Connect(h.ID(), right.ID(), edge)
+		d.RightHosts = append(d.RightHosts, h)
+		left.SetRoute(h.ID(), right.ID())
+	}
+	return d
+}
+
+// Ring connects n hosts and n switches in a ring: host i hangs off switch
+// i, and switch i links to switch (i+1) mod n. This is the natural
+// topology for ring all-reduce experiments where each hop can congest
+// independently.
+type Ring struct {
+	Net      *Network
+	Hosts    []*Host
+	Switches []*Switch
+}
+
+// BuildRing creates the ring with edge links host↔switch and trunk links
+// between consecutive switches. Routing follows the shorter arc;
+// ties go clockwise.
+func BuildRing(sim *Sim, n int, edge, trunk LinkConfig, q QueueConfig) *Ring {
+	if n < 2 {
+		panic("netsim: ring needs at least 2 nodes")
+	}
+	net := NewNetwork(sim)
+	r := &Ring{Net: net}
+	for i := 0; i < n; i++ {
+		sw := net.AddSwitch(SwitchIDBase+NodeID(i), q)
+		r.Switches = append(r.Switches, sw)
+		h := net.AddHost(NodeID(i))
+		r.Hosts = append(r.Hosts, h)
+	}
+	for i := 0; i < n; i++ {
+		net.Connect(r.Hosts[i].ID(), r.Switches[i].ID(), edge)
+		net.Connect(r.Switches[i].ID(), r.Switches[(i+1)%n].ID(), trunk)
+	}
+	// Shortest-arc static routes.
+	for i := 0; i < n; i++ {
+		sw := r.Switches[i]
+		for dst := 0; dst < n; dst++ {
+			if dst == i {
+				continue
+			}
+			cw := (dst - i + n) % n  // hops clockwise
+			ccw := (i - dst + n) % n // hops counter-clockwise
+			var next NodeID
+			if cw <= ccw {
+				next = SwitchIDBase + NodeID((i+1)%n)
+			} else {
+				next = SwitchIDBase + NodeID((i-1+n)%n)
+			}
+			sw.SetRoute(NodeID(dst), next)
+		}
+	}
+	return r
+}

@@ -1,0 +1,126 @@
+package netsim
+
+import (
+	"math"
+	"sort"
+
+	"trimgrad/internal/xrand"
+)
+
+// CrossTraffic generates Poisson-arrival opaque packets from a host toward
+// a destination, modelling the bursty background load that shares the
+// fabric with gradient traffic (§1).
+type CrossTraffic struct {
+	Host *Host
+	Dst  NodeID
+	// PacketSize in bytes (on the wire).
+	PacketSize int
+	// Rate in packets per second (Poisson).
+	Rate float64
+	// Prio of the generated packets.
+	Prio Priority
+
+	rng     *xrand.Rand
+	stopped bool
+	Sent    int
+}
+
+// NewCrossTraffic creates a generator; call Start to begin.
+func NewCrossTraffic(h *Host, dst NodeID, pktSize int, rate float64, seed uint64) *CrossTraffic {
+	return &CrossTraffic{
+		Host: h, Dst: dst, PacketSize: pktSize, Rate: rate,
+		rng: xrand.New(seed),
+	}
+}
+
+// Start schedules the first arrival.
+func (c *CrossTraffic) Start() {
+	if c.Rate <= 0 {
+		return
+	}
+	c.scheduleNext()
+}
+
+// Stop halts generation after any in-flight event.
+func (c *CrossTraffic) Stop() { c.stopped = true }
+
+func (c *CrossTraffic) scheduleNext() {
+	gap := Time(c.rng.ExpFloat64() / c.Rate * float64(Second))
+	c.Host.sim.After(gap, func() {
+		if c.stopped {
+			return
+		}
+		c.Host.Send(&Packet{
+			Dst: c.Dst, Size: c.PacketSize, Prio: c.Prio,
+			Kind: "cross", FlowID: math.MaxUint64,
+		})
+		c.Sent++
+		c.scheduleNext()
+	})
+}
+
+// FCTRecorder collects per-flow completion times.
+type FCTRecorder struct {
+	start map[uint64]Time
+	fcts  []Time
+}
+
+// NewFCTRecorder returns an empty recorder.
+func NewFCTRecorder() *FCTRecorder {
+	return &FCTRecorder{start: make(map[uint64]Time)}
+}
+
+// FlowStarted records the start time of a flow.
+func (f *FCTRecorder) FlowStarted(id uint64, at Time) { f.start[id] = at }
+
+// FlowFinished records completion; unknown flows are ignored.
+func (f *FCTRecorder) FlowFinished(id uint64, at Time) {
+	if s, ok := f.start[id]; ok {
+		f.fcts = append(f.fcts, at-s)
+		delete(f.start, id)
+	}
+}
+
+// Count returns the number of completed flows.
+func (f *FCTRecorder) Count() int { return len(f.fcts) }
+
+// Percentile returns the q-quantile (0..1) completion time, or 0 if empty.
+func (f *FCTRecorder) Percentile(q float64) Time {
+	if len(f.fcts) == 0 {
+		return 0
+	}
+	s := append([]Time(nil), f.fcts...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(q * float64(len(s)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// Mean returns the average completion time, or 0 if empty.
+func (f *FCTRecorder) Mean() Time {
+	if len(f.fcts) == 0 {
+		return 0
+	}
+	var sum Time
+	for _, t := range f.fcts {
+		sum += t
+	}
+	return sum / Time(len(f.fcts))
+}
+
+// Max returns the slowest completion time (the straggler, which the paper
+// argues dominates synchronous training).
+func (f *FCTRecorder) Max() Time {
+	var m Time
+	for _, t := range f.fcts {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}

@@ -1,0 +1,152 @@
+package quant
+
+import (
+	"math"
+	"testing"
+
+	"trimgrad/internal/vecmath"
+	"trimgrad/internal/xrand"
+)
+
+func TestEdenRoundTripUntrimmed(t *testing.T) {
+	row := gaussianRow(200, 1<<11, 0.05)
+	for p := 1; p <= 4; p++ {
+		c := MustNew(Params{Scheme: Eden, P: p})
+		enc, err := c.Encode(row, 9)
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		if enc.P != p || enc.Q != 32-p {
+			t.Fatalf("P=%d: geometry %d/%d", p, enc.P, enc.Q)
+		}
+		dec, err := c.Decode(enc, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Tail drops the P lowest mantissa bits of the rotated values.
+		tol := math.Pow(2, float64(2*(p-22)))
+		if nm := vecmath.NMSE(row, dec); nm > tol {
+			t.Errorf("P=%d: untrimmed NMSE %g > %g", p, nm, tol)
+		}
+	}
+}
+
+// TestEdenBeatsLinearAtSameBits: Lloyd-Max centroids for the (normal)
+// rotated distribution must beat the uniform [-L, L] grid of rht-linear
+// at every shared head width under full trimming.
+func TestEdenBeatsLinearAtSameBits(t *testing.T) {
+	row := gaussianRow(201, 1<<12, 0.05)
+	trimmed := AllTrimmed(len(row))
+	for _, p := range []int{2, 3, 4} {
+		eden := MustNew(Params{Scheme: Eden, P: p, ScaleMode: ScaleMMSE})
+		lin := MustNew(Params{Scheme: RHTLinear, P: p})
+		encE, err := eden.Encode(row, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decE, err := eden.Decode(encE, nil, trimmed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		encL, _ := lin.Encode(row, 5)
+		decL, _ := lin.Decode(encL, nil, trimmed)
+		nmE := vecmath.NMSE(row, decE)
+		nmL := vecmath.NMSE(row, decL)
+		if nmE >= nmL {
+			t.Errorf("P=%d: eden NMSE %g should beat rht-linear %g", p, nmE, nmL)
+		}
+	}
+}
+
+// TestEdenP1MatchesRHTTheory: at P=1 EDEN's MMSE decode is exactly
+// DRIVE's MMSE sign decode (NMSE ≈ 1−2/π), and the unbiased decode's
+// average over seeds converges to the input.
+func TestEdenP1MatchesRHTTheory(t *testing.T) {
+	row := gaussianRow(202, 1<<12, 0.05)
+	trimmed := AllTrimmed(len(row))
+	mmse := MustNew(Params{Scheme: Eden, P: 1, ScaleMode: ScaleMMSE})
+	enc, _ := mmse.Encode(row, 7)
+	dec, _ := mmse.Decode(enc, nil, trimmed)
+	if nm := vecmath.NMSE(row, dec); math.Abs(nm-(1-2/math.Pi)) > 0.08 {
+		t.Errorf("P=1 MMSE NMSE %g, want ≈%g", nm, 1-2/math.Pi)
+	}
+
+	unb := MustNew(Params{Scheme: Eden, P: 1})
+	mean := make([]float32, len(row))
+	const trials = 300
+	for i := 0; i < trials; i++ {
+		e, err := unb.Encode(row, xrand.Seed(990, uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := unb.Decode(e, nil, trimmed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vecmath.Add(mean, d)
+	}
+	vecmath.Scale(mean, 1.0/trials)
+	if nm := vecmath.NMSE(row, mean); nm > 0.02 {
+		t.Errorf("unbiased mean-decode NMSE %g, want tiny", nm)
+	}
+}
+
+// TestEdenMonotoneInP: more head bits, less fully-trimmed error.
+func TestEdenMonotoneInP(t *testing.T) {
+	row := gaussianRow(203, 1<<12, 0.05)
+	trimmed := AllTrimmed(len(row))
+	prev := math.Inf(1)
+	for p := 1; p <= 4; p++ {
+		c := MustNew(Params{Scheme: Eden, P: p, ScaleMode: ScaleMMSE})
+		enc, _ := c.Encode(row, 3)
+		dec, _ := c.Decode(enc, nil, trimmed)
+		nm := vecmath.NMSE(row, dec)
+		if nm >= prev {
+			t.Errorf("P=%d NMSE %g not below P-1's %g", p, nm, prev)
+		}
+		prev = nm
+	}
+}
+
+func TestEdenValidation(t *testing.T) {
+	if _, err := New(Params{Scheme: Eden, P: 5}); err == nil {
+		t.Error("P=5 should fail")
+	}
+	c := MustNew(Params{Scheme: Eden, P: 2})
+	if _, err := c.Encode(make([]float32, 100), 1); err == nil {
+		t.Error("non-pow2 length should fail")
+	}
+}
+
+func TestEdenZeroRow(t *testing.T) {
+	c := MustNew(Params{Scheme: Eden, P: 2})
+	enc, err := c.Encode(make([]float32, 256), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, avail := range [][]bool{nil, AllTrimmed(256)} {
+		dec, err := c.Decode(enc, nil, avail)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range dec {
+			if v != 0 {
+				t.Fatalf("zero row decoded %v at %d", v, i)
+			}
+		}
+	}
+}
+
+func TestEdenHeadsFitWidth(t *testing.T) {
+	row := gaussianRow(204, 512, 0.2)
+	for p := 1; p <= 4; p++ {
+		c := MustNew(Params{Scheme: Eden, P: p})
+		enc, _ := c.Encode(row, 1)
+		maxHead := uint32(1)<<uint(p) - 1
+		for i, h := range enc.Heads {
+			if h > maxHead {
+				t.Fatalf("P=%d: head %d = %d exceeds %d", p, i, h, maxHead)
+			}
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package quant
+
+import (
+	"testing"
+
+	"trimgrad/internal/vecmath"
+	"trimgrad/internal/xrand"
+)
+
+// TestHeadDropDecodesToZeroScalar: scalar schemes must decode a coordinate
+// whose head was lost (dropped packet) to exactly 0.
+func TestHeadDropDecodesToZeroScalar(t *testing.T) {
+	row := gaussianRow(20, 256, 0.05)
+	headAvail := NoneTrimmed(len(row))
+	headAvail[3] = false
+	headAvail[100] = false
+	for _, s := range []Scheme{Sign, SQ, SD, Linear} {
+		p := Params{Scheme: s}
+		if s == Linear {
+			p.P = 4
+		}
+		c := MustNew(p)
+		enc, err := c.Encode(row, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		dec, err := c.Decode(enc, headAvail, AllTrimmed(len(row)))
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if dec[3] != 0 || dec[100] != 0 {
+			t.Errorf("%s: head-dropped coords decode to %v, %v; want 0",
+				c.Name(), dec[3], dec[100])
+		}
+		// Other coordinates are unaffected by the mask.
+		full, _ := c.Decode(enc, nil, AllTrimmed(len(row)))
+		for i := range dec {
+			if i == 3 || i == 100 {
+				continue
+			}
+			if dec[i] != full[i] {
+				t.Errorf("%s: coord %d changed by unrelated head drop", c.Name(), i)
+			}
+		}
+	}
+}
+
+// TestHeadDropRHTDegradesGracefully: for RHT a lost head zeroes one rotated
+// coordinate; the decoded row should still be close to the full decode.
+func TestHeadDropRHTDegradesGracefully(t *testing.T) {
+	row := gaussianRow(21, 1<<10, 0.05)
+	c := MustNew(Params{Scheme: RHT})
+	enc, _ := c.Encode(row, 5)
+
+	headAvail := NoneTrimmed(len(row))
+	r := xrand.New(6)
+	drops := 0
+	for i := range headAvail {
+		if r.Float64() < 0.05 {
+			headAvail[i] = false
+			drops++
+		}
+	}
+	full, _ := c.Decode(enc, nil, nil)
+	masked, _ := c.Decode(enc, headAvail, nil)
+	nm := vecmath.NMSE(row, masked)
+	// Dropping ~5% of rotated coordinates loses ~5% of the energy.
+	if nm > 0.15 {
+		t.Errorf("RHT with %d dropped heads: NMSE %v too high", drops, nm)
+	}
+	if vecmath.NMSE(row, full) > 1e-10 {
+		t.Error("full decode should be exact")
+	}
+}
+
+// TestHeadDropMaskValidation: wrong-length headAvail must error.
+func TestHeadDropMaskValidation(t *testing.T) {
+	c := MustNew(Params{Scheme: Sign})
+	enc, _ := c.Encode(gaussianRow(22, 64, 1), 1)
+	if _, err := c.Decode(enc, make([]bool, 10), nil); err == nil {
+		t.Error("mismatched headAvail length should fail")
+	}
+}
+
+// TestAllDroppedDecodesZeroRow: losing every packet decodes to the zero
+// vector for every scheme (the receiver knows nothing).
+func TestAllDroppedDecodesZeroRow(t *testing.T) {
+	row := gaussianRow(23, 512, 0.05)
+	for _, c := range allCodecs(t) {
+		enc, err := c.Encode(row, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		dec, err := c.Decode(enc, AllTrimmed(len(row)), AllTrimmed(len(row)))
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		for i, v := range dec {
+			if v != 0 {
+				t.Fatalf("%s: all-dropped decode nonzero %v at %d", c.Name(), v, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package quant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"trimgrad/internal/vecmath"
+	"trimgrad/internal/xrand"
+)
+
+// Property-based invariants over all codecs, driven by testing/quick.
+
+// TestQuickRoundTripAllCodecs: untrimmed decode is (near-)exact for any
+// row content, length, and seed.
+func TestQuickRoundTripAllCodecs(t *testing.T) {
+	for _, p := range []Params{
+		{Scheme: Sign}, {Scheme: SQ}, {Scheme: SD},
+		{Scheme: Linear, P: 6},
+	} {
+		c := MustNew(p)
+		f := func(seed uint64, sz uint16, scale uint8) bool {
+			n := int(sz%1000) + 1
+			row := make([]float32, n)
+			r := xrand.New(seed)
+			s := float64(scale%100+1) / 100
+			for i := range row {
+				row[i] = float32(r.NormFloat64() * s)
+			}
+			enc, err := c.Encode(row, seed)
+			if err != nil {
+				return false
+			}
+			dec, err := c.Decode(enc, nil, nil)
+			if err != nil {
+				return false
+			}
+			return vecmath.NMSE(row, dec) < 1e-8
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+// TestQuickRHTRoundTripPow2: the RHT family over power-of-two lengths.
+func TestQuickRHTRoundTripPow2(t *testing.T) {
+	for _, p := range []Params{{Scheme: RHT}, {Scheme: RHTLinear, P: 8}} {
+		c := MustNew(p)
+		f := func(seed uint64, exp uint8) bool {
+			n := 1 << (exp%9 + 2)
+			row := gaussianRow(seed, n, 0.1)
+			enc, err := c.Encode(row, seed)
+			if err != nil {
+				return false
+			}
+			dec, err := c.Decode(enc, nil, nil)
+			if err != nil {
+				return false
+			}
+			return vecmath.NMSE(row, dec) < 1e-6
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+// TestQuickDecodedValuesBounded: a fully-trimmed decode never produces a
+// value outside the scheme's decode alphabet bound (±max(σ-scale, L)),
+// and never NaN/Inf for finite inputs.
+func TestQuickDecodedValuesBounded(t *testing.T) {
+	for _, p := range []Params{{Scheme: Sign}, {Scheme: SQ}, {Scheme: SD}, {Scheme: Linear, P: 4}} {
+		c := MustNew(p)
+		f := func(seed uint64, sz uint16) bool {
+			n := int(sz%500) + 2
+			row := gaussianRow(seed, n, 0.3)
+			enc, err := c.Encode(row, seed)
+			if err != nil {
+				return false
+			}
+			dec, err := c.Decode(enc, nil, AllTrimmed(n))
+			if err != nil {
+				return false
+			}
+			// SD can reach 2L (sign·L − dither); others stay within L/σ.
+			bound := 2*enc.Scale + 1e-6
+			for _, v := range dec {
+				fv := float64(v)
+				if math.IsNaN(fv) || math.IsInf(fv, 0) || math.Abs(fv) > bound {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+// TestQuickTrimMaskMonotonicity: adding back tails never increases NMSE
+// in expectation; we check the specific nested-mask case where one mask's
+// available set contains the other's.
+func TestQuickTrimMaskNested(t *testing.T) {
+	c := MustNew(Params{Scheme: Sign})
+	f := func(seed uint64) bool {
+		n := 512
+		row := gaussianRow(seed, n, 0.1)
+		enc, err := c.Encode(row, seed)
+		if err != nil {
+			return false
+		}
+		r := xrand.New(seed ^ 0xabc)
+		half := NoneTrimmed(n)
+		quarter := NoneTrimmed(n)
+		for i := range half {
+			if r.Float64() < 0.5 {
+				half[i] = false
+				quarter[i] = false
+			} else if r.Float64() < 0.5 {
+				quarter[i] = false
+			}
+		}
+		dHalf, err := c.Decode(enc, nil, half)
+		if err != nil {
+			return false
+		}
+		dQuarter, err := c.Decode(enc, nil, quarter)
+		if err != nil {
+			return false
+		}
+		// quarter's available set ⊆ half's, so its error must be ≥.
+		return vecmath.NMSE(row, dQuarter) >= vecmath.NMSE(row, dHalf)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickHeadsFitWidth: every head value fits in P bits — required for
+// the wire packing to be lossless.
+func TestQuickHeadsFitWidth(t *testing.T) {
+	for _, p := range []Params{
+		{Scheme: Sign}, {Scheme: SQ}, {Scheme: SD},
+		{Scheme: Linear, P: 3}, {Scheme: Linear, P: 8},
+	} {
+		c := MustNew(p)
+		f := func(seed uint64) bool {
+			row := gaussianRow(seed, 300, 0.2)
+			enc, err := c.Encode(row, seed)
+			if err != nil {
+				return false
+			}
+			maxHead := uint32(1)<<uint(enc.P) - 1
+			maxTail := uint64(1)<<uint(enc.Q) - 1
+			for i := range enc.Heads {
+				if enc.Heads[i] > maxHead || uint64(enc.Tails[i]) > maxTail {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+// TestQuickExtremeValues: codecs must handle rows with extreme magnitudes
+// and special patterns without NaN.
+func TestQuickExtremeValues(t *testing.T) {
+	rows := [][]float32{
+		{0, 0, 0, 0},
+		{1e30, -1e30, 1e-30, -1e-30},
+		{float32(math.MaxFloat32) / 2, -float32(math.MaxFloat32) / 2, 0, 1},
+		{1e-38, 2e-38, -1e-38, 0}, // subnormal territory
+	}
+	for _, p := range []Params{{Scheme: Sign}, {Scheme: SQ}, {Scheme: SD}, {Scheme: RHT}} {
+		c := MustNew(p)
+		for _, row := range rows {
+			enc, err := c.Encode(row, 1)
+			if err != nil {
+				t.Fatalf("%s: %v", c.Name(), err)
+			}
+			for _, avail := range [][]bool{nil, AllTrimmed(len(row))} {
+				dec, err := c.Decode(enc, nil, avail)
+				if err != nil {
+					t.Fatalf("%s: %v", c.Name(), err)
+				}
+				for i, v := range dec {
+					if math.IsNaN(float64(v)) {
+						t.Fatalf("%s: NaN at %d for row %v", c.Name(), i, row)
+					}
+				}
+			}
+		}
+	}
+}

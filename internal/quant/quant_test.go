@@ -1,0 +1,475 @@
+package quant
+
+import (
+	"math"
+	"testing"
+
+	"trimgrad/internal/vecmath"
+	"trimgrad/internal/xrand"
+)
+
+// gaussianRow returns a synthetic gradient row ~ N(0, scale²).
+func gaussianRow(seed uint64, n int, scale float64) []float32 {
+	r := xrand.New(seed)
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = float32(r.NormFloat64() * scale)
+	}
+	return v
+}
+
+// skewedRow returns a row with a non-zero mean, exercising the asymmetric
+// case that sign-magnitude handles poorly but RHT recenters.
+func skewedRow(seed uint64, n int, mean, scale float64) []float32 {
+	r := xrand.New(seed)
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = float32(mean + r.NormFloat64()*scale)
+	}
+	return v
+}
+
+func allCodecs(t *testing.T) []Codec {
+	t.Helper()
+	return []Codec{
+		MustNew(Params{Scheme: Sign}),
+		MustNew(Params{Scheme: SQ}),
+		MustNew(Params{Scheme: SD}),
+		MustNew(Params{Scheme: RHT}),
+		MustNew(Params{Scheme: Linear, P: 4}),
+		MustNew(Params{Scheme: Linear, P: 8}),
+		MustNew(Params{Scheme: RHTLinear, P: 8}),
+		MustNew(Params{Scheme: Eden, P: 1}),
+		MustNew(Params{Scheme: Eden, P: 4}),
+	}
+}
+
+func TestSchemeStringRoundTrip(t *testing.T) {
+	for s := Scheme(0); s < numSchemes; s++ {
+		got, err := ParseScheme(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseScheme(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseScheme("nope"); err == nil {
+		t.Error("ParseScheme should reject unknown names")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []Params{
+		{Scheme: Sign, P: 2},
+		{Scheme: SQ, P: 8},
+		{Scheme: SD, P: 3},
+		{Scheme: RHT, P: 4},
+		{Scheme: Linear, P: 17},
+		{Scheme: Scheme(99)},
+	}
+	for _, p := range cases {
+		if _, err := New(p); err == nil {
+			t.Errorf("New(%+v) should fail", p)
+		}
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	c := MustNew(Params{Scheme: SQ})
+	if got := c.Params().ClipSigma; got != DefaultClipSigma {
+		t.Errorf("ClipSigma default = %v, want %v", got, DefaultClipSigma)
+	}
+	if got := c.Params().P; got != 1 {
+		t.Errorf("P default = %v, want 1", got)
+	}
+}
+
+// TestUntrimmedRoundTrip checks the §3.2 claim: with no trimming, sign-head
+// schemes reconstruct the original floats exactly, and value-head schemes
+// are within one dropped-low-mantissa-bit ulp.
+func TestUntrimmedRoundTrip(t *testing.T) {
+	row := gaussianRow(1, 1<<10, 0.02)
+	for _, c := range allCodecs(t) {
+		enc, err := c.Encode(row, 42)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", c.Name(), err)
+		}
+		if err := enc.Validate(); err != nil {
+			t.Fatalf("%s: invalid encoding: %v", c.Name(), err)
+		}
+		dec, err := c.Decode(enc, nil, nil)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", c.Name(), err)
+		}
+		nm := vecmath.NMSE(row, dec)
+		var tol float64
+		switch c.Params().Scheme {
+		case Sign, RHT:
+			tol = 1e-10 // exact up to float summation order in IRHT
+		default:
+			// P low mantissa bits dropped: relative error ≤ 2^(P-24).
+			p := c.Params().P
+			tol = math.Pow(2, float64(2*(p-23)))
+		}
+		if nm > tol {
+			t.Errorf("%s: untrimmed NMSE = %g, want ≤ %g", c.Name(), nm, tol)
+		}
+	}
+}
+
+// TestFullyTrimmedDirection checks that even with every tail trimmed, the
+// head-only decode preserves the gradient direction (positive cosine
+// similarity) for all schemes on zero-mean rows.
+func TestFullyTrimmedDirection(t *testing.T) {
+	row := gaussianRow(2, 1<<12, 0.05)
+	for _, c := range allCodecs(t) {
+		enc, err := c.Encode(row, 7)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", c.Name(), err)
+		}
+		dec, err := c.Decode(enc, nil, AllTrimmed(len(row)))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", c.Name(), err)
+		}
+		cos := vecmath.CosineSimilarity(row, dec)
+		// SQ/SD decode to ±L = ±2.5σ, so even a perfect sign pattern has
+		// cosine ≈ 1/2.5 = 0.4; any positive alignment well above noise
+		// (≈1/√n ≈ 0.016 here) demonstrates direction preservation.
+		if cos < 0.3 {
+			t.Errorf("%s: fully-trimmed cosine = %v, want ≥ 0.3", c.Name(), cos)
+		}
+	}
+}
+
+// TestPartialTrimBetterThanFull checks monotonicity: trimming fewer
+// coordinates cannot hurt (statistically) — 25%-trimmed NMSE should be
+// well below 100%-trimmed NMSE.
+func TestPartialTrimBetterThanFull(t *testing.T) {
+	row := gaussianRow(3, 1<<12, 0.05)
+	r := xrand.New(9)
+	partial := NoneTrimmed(len(row))
+	for i := range partial {
+		if r.Float64() < 0.25 {
+			partial[i] = false
+		}
+	}
+	for _, c := range allCodecs(t) {
+		enc, _ := c.Encode(row, 11)
+		decPart, err := c.Decode(enc, nil, partial)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		decFull, err := c.Decode(enc, nil, AllTrimmed(len(row)))
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		nmPart := vecmath.NMSE(row, decPart)
+		nmFull := vecmath.NMSE(row, decFull)
+		if nmPart > nmFull*0.9 {
+			t.Errorf("%s: partial NMSE %v not clearly below full NMSE %v",
+				c.Name(), nmPart, nmFull)
+		}
+	}
+}
+
+// TestRHTBeatsSQSDAtFullTrim reproduces the variance side of the paper's
+// ranking: RHT's unbiased f-scale estimator has NMSE ≈ π/2−1 ≈ 0.57 on
+// Gaussian-like rows, roughly an order of magnitude below SQ/SD, whose ±L
+// = ±2.5σ decode has NMSE ≈ L²/σ²−1 ≈ 5.25.
+func TestRHTBeatsSQSDAtFullTrim(t *testing.T) {
+	row := skewedRow(4, 1<<12, 0.03, 0.05)
+	trimmed := AllTrimmed(len(row))
+	nmse := map[string]float64{}
+	for _, c := range allCodecs(t) {
+		enc, _ := c.Encode(row, 13)
+		dec, err := c.Decode(enc, nil, trimmed)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		nmse[c.Name()] = vecmath.NMSE(row, dec)
+	}
+	for _, scalar := range []string{"sq", "sd"} {
+		if nmse["rht"] >= nmse[scalar]/2 {
+			t.Errorf("rht NMSE %v should be well below %s NMSE %v",
+				nmse["rht"], scalar, nmse[scalar])
+		}
+	}
+	// RHT's NMSE should sit near its theoretical π/2−1 ≈ 0.571.
+	if nmse["rht"] < 0.4 || nmse["rht"] > 0.75 {
+		t.Errorf("rht NMSE %v, expected ≈0.57 (π/2−1)", nmse["rht"])
+	}
+	// Multi-bit heads should beat 1-bit heads of the same family.
+	if nmse["rht-linear"] >= nmse["rht"] {
+		t.Errorf("rht-linear(P=8) NMSE %v should beat rht(P=1) %v",
+			nmse["rht-linear"], nmse["rht"])
+	}
+}
+
+// TestRHTUnbiasedSignBiased reproduces the *bias* side of the ranking — the
+// mechanism behind Figure 3's sign-magnitude divergence at ≥2% trimming.
+// Averaging fully-trimmed decodes over many independent seeds drives RHT's
+// error toward zero (unbiased), while sign-magnitude's error floors at its
+// bias no matter how many estimates are averaged.
+func TestRHTUnbiasedSignBiased(t *testing.T) {
+	row := skewedRow(14, 1<<10, 0.03, 0.05)
+	trimmed := AllTrimmed(len(row))
+	meanDecodeNMSE := func(c Codec, trials int) float64 {
+		mean := make([]float32, len(row))
+		for i := 0; i < trials; i++ {
+			enc, err := c.Encode(row, xrand.Seed(500, uint64(i)))
+			if err != nil {
+				t.Fatalf("%s: %v", c.Name(), err)
+			}
+			dec, err := c.Decode(enc, nil, trimmed)
+			if err != nil {
+				t.Fatalf("%s: %v", c.Name(), err)
+			}
+			vecmath.Add(mean, dec)
+		}
+		vecmath.Scale(mean, 1/float32(trials))
+		return vecmath.NMSE(row, mean)
+	}
+	const trials = 400
+	rht := meanDecodeNMSE(MustNew(Params{Scheme: RHT}), trials)
+	sign := meanDecodeNMSE(MustNew(Params{Scheme: Sign}), trials)
+	// RHT variance shrinks like 1/trials: 0.57/400 ≈ 0.0014.
+	if rht > 0.02 {
+		t.Errorf("rht mean-decode NMSE %v, want ≈0.0014 (unbiased)", rht)
+	}
+	// Sign's bias term does not average out.
+	if sign < 0.05 {
+		t.Errorf("sign mean-decode NMSE %v, expected a persistent bias floor", sign)
+	}
+	if rht >= sign/3 {
+		t.Errorf("rht %v should be far below sign %v after averaging", rht, sign)
+	}
+}
+
+// TestSQUnbiased verifies E[decode] = clip(v) for stochastic quantization
+// by averaging over many seeds.
+func TestSQUnbiased(t *testing.T) {
+	c := MustNew(Params{Scheme: SQ})
+	row := gaussianRow(5, 256, 0.05)
+	mean := make([]float32, len(row))
+	const trials = 3000
+	for i := 0; i < trials; i++ {
+		enc, _ := c.Encode(row, xrand.Seed(88, uint64(i)))
+		dec, _ := c.Decode(enc, nil, AllTrimmed(len(row)))
+		vecmath.Add(mean, dec)
+	}
+	vecmath.Scale(mean, 1.0/trials)
+	limit := 2.5 * vecmath.Std(row)
+	clipped := append([]float32(nil), row...)
+	vecmath.Clip(clipped, float32(limit))
+	// Standard error of the ±L mean estimate is ≈ L/√trials per coord.
+	tol := 5 * limit / math.Sqrt(trials)
+	for i := range mean {
+		if d := math.Abs(float64(mean[i] - clipped[i])); d > tol {
+			t.Fatalf("SQ biased at %d: mean %v vs clipped %v (tol %v)",
+				i, mean[i], clipped[i], tol)
+		}
+	}
+}
+
+// TestSDUnbiased verifies the Schuchman-corrected subtractive dither is
+// unbiased for in-range coordinates.
+func TestSDUnbiased(t *testing.T) {
+	c := MustNew(Params{Scheme: SD})
+	row := gaussianRow(6, 256, 0.05)
+	mean := make([]float32, len(row))
+	const trials = 3000
+	for i := 0; i < trials; i++ {
+		enc, _ := c.Encode(row, xrand.Seed(99, uint64(i)))
+		dec, _ := c.Decode(enc, nil, AllTrimmed(len(row)))
+		vecmath.Add(mean, dec)
+	}
+	vecmath.Scale(mean, 1.0/trials)
+	limit := 2.5 * vecmath.Std(row)
+	clipped := append([]float32(nil), row...)
+	vecmath.Clip(clipped, float32(limit))
+	tol := 5 * 2 * limit / math.Sqrt(trials)
+	for i := range mean {
+		if d := math.Abs(float64(mean[i] - clipped[i])); d > tol {
+			t.Fatalf("SD biased at %d: mean %v vs clipped %v (tol %v)",
+				i, mean[i], clipped[i], tol)
+		}
+	}
+}
+
+// TestSDLowerWorstCaseErrorThanSQ: SD's per-coordinate error is bounded and
+// input-independent; SQ's error on a near-zero coordinate is ±L. The
+// worst-case |error| over a row should be lower for SD.
+func TestSDWorstCaseVsSQ(t *testing.T) {
+	row := gaussianRow(7, 1<<12, 0.05)
+	sq := MustNew(Params{Scheme: SQ})
+	sd := MustNew(Params{Scheme: SD})
+	worst := func(c Codec) float64 {
+		enc, _ := c.Encode(row, 17)
+		dec, _ := c.Decode(enc, nil, AllTrimmed(len(row)))
+		var w float64
+		for i := range row {
+			if d := math.Abs(float64(dec[i] - row[i])); d > w {
+				w = d
+			}
+		}
+		return w
+	}
+	// SQ's worst case is ~2L (a clipped large coordinate flipped to the
+	// wrong side); SD cannot exceed 2L either but its typical max is lower.
+	// Compare mean absolute error instead of a flaky max for robustness,
+	// then also sanity check the max.
+	mae := func(c Codec) float64 {
+		enc, _ := c.Encode(row, 17)
+		dec, _ := c.Decode(enc, nil, AllTrimmed(len(row)))
+		var s float64
+		for i := range row {
+			s += math.Abs(float64(dec[i] - row[i]))
+		}
+		return s / float64(len(row))
+	}
+	if sdErr, sqErr := mae(sd), mae(sq); sdErr >= sqErr {
+		t.Errorf("SD mean |err| %v should beat SQ %v", sdErr, sqErr)
+	}
+	_ = worst
+}
+
+// TestSharedSeedDeterminism: encoding twice with the same seed must be
+// bit-identical (reproducibility, §5.4), and different seeds must differ
+// for stochastic schemes.
+func TestSharedSeedDeterminism(t *testing.T) {
+	row := gaussianRow(8, 512, 0.05)
+	for _, c := range allCodecs(t) {
+		a, _ := c.Encode(row, 123)
+		b, _ := c.Encode(row, 123)
+		for i := range a.Heads {
+			if a.Heads[i] != b.Heads[i] || a.Tails[i] != b.Tails[i] {
+				t.Fatalf("%s: same seed produced different encodings at %d", c.Name(), i)
+			}
+		}
+		if a.Scale != b.Scale {
+			t.Fatalf("%s: same seed produced different scales", c.Name())
+		}
+	}
+	for _, name := range []string{"sq", "sd"} {
+		s, _ := ParseScheme(name)
+		c := MustNew(Params{Scheme: s})
+		a, _ := c.Encode(row, 1)
+		b, _ := c.Encode(row, 2)
+		same := 0
+		for i := range a.Heads {
+			if a.Heads[i] == b.Heads[i] {
+				same++
+			}
+		}
+		if same == len(a.Heads) {
+			t.Errorf("%s: different seeds produced identical heads", name)
+		}
+	}
+}
+
+func TestZeroRowAllSchemes(t *testing.T) {
+	row := make([]float32, 256)
+	for _, c := range allCodecs(t) {
+		enc, err := c.Encode(row, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		for _, avail := range [][]bool{nil, AllTrimmed(256)} {
+			dec, err := c.Decode(enc, nil, avail)
+			if err != nil {
+				t.Fatalf("%s: %v", c.Name(), err)
+			}
+			for i, v := range dec {
+				if v != 0 {
+					t.Fatalf("%s: zero row decoded nonzero %v at %d (avail=%v)",
+						c.Name(), v, i, avail != nil)
+				}
+			}
+		}
+	}
+}
+
+func TestEmptyRow(t *testing.T) {
+	for _, c := range allCodecs(t) {
+		enc, err := c.Encode(nil, 3)
+		if err != nil {
+			// RHT legitimately rejects non-power-of-two (0) rows.
+			continue
+		}
+		dec, err := c.Decode(enc, nil, nil)
+		if err != nil || len(dec) != 0 {
+			t.Errorf("%s: empty row decode = %v, %v", c.Name(), dec, err)
+		}
+	}
+}
+
+func TestRHTRejectsNonPow2(t *testing.T) {
+	for _, p := range []Params{{Scheme: RHT}, {Scheme: RHTLinear, P: 8}} {
+		c := MustNew(p)
+		if _, err := c.Encode(make([]float32, 100), 1); err == nil {
+			t.Errorf("%s: should reject length 100", c.Name())
+		}
+	}
+}
+
+func TestDecodeValidation(t *testing.T) {
+	c := MustNew(Params{Scheme: Sign})
+	row := gaussianRow(9, 64, 1)
+	enc, _ := c.Encode(row, 1)
+	if _, err := c.Decode(enc, nil, make([]bool, 63)); err == nil {
+		t.Error("mismatched tailAvail length should fail")
+	}
+	bad := *enc
+	bad.Heads = bad.Heads[:10]
+	if _, err := c.Decode(&bad, nil, nil); err == nil {
+		t.Error("corrupt EncodedRow should fail validation")
+	}
+	if err := (*EncodedRow)(nil).Validate(); err == nil {
+		t.Error("nil EncodedRow should fail validation")
+	}
+}
+
+func TestLinearP1MatchesSQStatistics(t *testing.T) {
+	// Linear with P=1 has levels ±L with stochastic rounding — the same
+	// marginal distribution as SQ. Check decoded second moments agree.
+	row := gaussianRow(10, 1<<12, 0.05)
+	sq := MustNew(Params{Scheme: SQ})
+	lin := MustNew(Params{Scheme: Linear, P: 1})
+	encSQ, _ := sq.Encode(row, 5)
+	encLin, _ := lin.Encode(row, 5)
+	decSQ, _ := sq.Decode(encSQ, nil, AllTrimmed(len(row)))
+	decLin, _ := lin.Decode(encLin, nil, AllTrimmed(len(row)))
+	mSQ := vecmath.L2NormSquared(decSQ)
+	mLin := vecmath.L2NormSquared(decLin)
+	if math.Abs(mSQ-mLin) > 0.02*mSQ {
+		t.Errorf("P=1 linear second moment %v vs SQ %v", mLin, mSQ)
+	}
+}
+
+func TestMoreHeadBitsMonotone(t *testing.T) {
+	// §5.1: more head bits must give lower fully-trimmed error.
+	row := gaussianRow(11, 1<<12, 0.05)
+	prev := math.Inf(1)
+	for _, p := range []int{1, 2, 4, 8} {
+		c := MustNew(Params{Scheme: Linear, P: p})
+		enc, _ := c.Encode(row, 21)
+		dec, _ := c.Decode(enc, nil, AllTrimmed(len(row)))
+		nm := vecmath.NMSE(row, dec)
+		if nm >= prev {
+			t.Errorf("P=%d NMSE %v not below P-1's %v", p, nm, prev)
+		}
+		prev = nm
+	}
+}
+
+func TestHelpersTrimMasks(t *testing.T) {
+	n := 5
+	at := AllTrimmed(n)
+	nt := NoneTrimmed(n)
+	for i := 0; i < n; i++ {
+		if at[i] {
+			t.Fatal("AllTrimmed should be all false")
+		}
+		if !nt[i] {
+			t.Fatal("NoneTrimmed should be all true")
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package quant
+
+import (
+	"math"
+	"testing"
+
+	"trimgrad/internal/vecmath"
+	"trimgrad/internal/xrand"
+)
+
+// TestTailBitsPrecisionLadder: narrowing the tail (§5.3 ahead-of-time
+// compression) must degrade untrimmed precision monotonically, stay exact
+// in the heads, and at the scheme default behave identically to TailBits=0.
+func TestTailBitsPrecisionLadder(t *testing.T) {
+	row := gaussianRow(50, 1<<10, 0.05)
+	for _, scheme := range []Scheme{Sign, SQ, RHT} {
+		prev := 0.0
+		for _, q := range []int{31, 24, 16, 8} {
+			c := MustNew(Params{Scheme: scheme, TailBits: q})
+			enc, err := c.Encode(row, 3)
+			if err != nil {
+				t.Fatalf("%v q=%d: %v", scheme, q, err)
+			}
+			if enc.Q != q {
+				t.Fatalf("%v: enc.Q = %d, want %d", scheme, enc.Q, q)
+			}
+			dec, err := c.Decode(enc, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nm := vecmath.NMSE(row, dec)
+			if nm < prev {
+				t.Errorf("%v: NMSE %g at q=%d below wider tail's %g", scheme, nm, q, prev)
+			}
+			prev = nm
+			// Even at q=8 the reconstruction keeps the direction (at that
+			// width a value-head tail is sign + 7 exponent bits, so
+			// magnitudes are only coarse powers of two).
+			if cos := vecmath.CosineSimilarity(row, dec); cos < 0.9 {
+				t.Errorf("%v q=%d: cosine %v", scheme, q, cos)
+			}
+		}
+	}
+}
+
+// TestTailBitsDefaultEquivalence: TailBits=0 and TailBits=default must
+// produce identical encodings.
+func TestTailBitsDefaultEquivalence(t *testing.T) {
+	row := gaussianRow(51, 512, 0.05)
+	a := MustNew(Params{Scheme: Sign})
+	b := MustNew(Params{Scheme: Sign, TailBits: 31})
+	ea, _ := a.Encode(row, 1)
+	eb, _ := b.Encode(row, 1)
+	for i := range ea.Tails {
+		if ea.Tails[i] != eb.Tails[i] || ea.Heads[i] != eb.Heads[i] {
+			t.Fatalf("default-width mismatch at %d", i)
+		}
+	}
+	// Wider-than-default clamps to default.
+	cWide := MustNew(Params{Scheme: Sign, TailBits: 32})
+	ec, _ := cWide.Encode(row, 1)
+	if ec.Q != 31 {
+		t.Fatalf("over-wide TailBits should clamp to 31, got %d", ec.Q)
+	}
+}
+
+// TestTailBitsShrinkWire: narrowed tails must shrink the packed packets
+// proportionally.
+func TestTailBitsShrinkWire(t *testing.T) {
+	full := MustNew(Params{Scheme: RHT})
+	half := MustNew(Params{Scheme: RHT, TailBits: 15})
+	row := gaussianRow(52, 1<<10, 0.05)
+	ef, _ := full.Encode(row, 1)
+	eh, _ := half.Encode(row, 1)
+	bitsFull := ef.N * (ef.P + ef.Q)
+	bitsHalf := eh.N * (eh.P + eh.Q)
+	if bitsHalf*2 != ef.N*(1+15)*2 || bitsHalf >= bitsFull {
+		t.Fatalf("tail narrowing did not halve payload: %d vs %d bits", bitsHalf, bitsFull)
+	}
+}
+
+// TestTailBitsTrimmedUnaffected: fully-trimmed decode quality does not
+// depend on tail width (heads and scale are unchanged).
+func TestTailBitsTrimmedUnaffected(t *testing.T) {
+	row := gaussianRow(53, 1<<10, 0.05)
+	full := MustNew(Params{Scheme: RHT})
+	narrow := MustNew(Params{Scheme: RHT, TailBits: 8})
+	ef, _ := full.Encode(row, 9)
+	en, _ := narrow.Encode(row, 9)
+	df, _ := full.Decode(ef, nil, AllTrimmed(len(row)))
+	dn, _ := narrow.Decode(en, nil, AllTrimmed(len(row)))
+	for i := range df {
+		if df[i] != dn[i] {
+			t.Fatalf("trimmed decode differs at %d: %v vs %v", i, df[i], dn[i])
+		}
+	}
+}
+
+func TestTailBitsValidation(t *testing.T) {
+	if _, err := New(Params{Scheme: Sign, TailBits: -1}); err == nil {
+		t.Error("negative TailBits should fail")
+	}
+	if _, err := New(Params{Scheme: Sign, TailBits: 33}); err == nil {
+		t.Error("TailBits > 32 should fail")
+	}
+	if _, err := New(Params{Scheme: RHT, ScaleMode: 9}); err == nil {
+		t.Error("bad scale mode should fail")
+	}
+}
+
+// TestScaleModeBiasVarianceTradeoff verifies the DESIGN.md ablation claim:
+// MMSE scaling has lower one-shot NMSE (≈1−2/π) than unbiased scaling
+// (≈π/2−1), but averaging many decodes favours the unbiased scale.
+func TestScaleModeBiasVarianceTradeoff(t *testing.T) {
+	row := gaussianRow(54, 1<<12, 0.05)
+	unb := MustNew(Params{Scheme: RHT, ScaleMode: ScaleUnbiased})
+	mmse := MustNew(Params{Scheme: RHT, ScaleMode: ScaleMMSE})
+	trimmed := AllTrimmed(len(row))
+
+	oneShot := func(c Codec) float64 {
+		enc, _ := c.Encode(row, 17)
+		dec, _ := c.Decode(enc, nil, trimmed)
+		return vecmath.NMSE(row, dec)
+	}
+	nmUnb, nmMMSE := oneShot(unb), oneShot(mmse)
+	if math.Abs(nmUnb-(math.Pi/2-1)) > 0.08 {
+		t.Errorf("unbiased one-shot NMSE %v, want ≈%v", nmUnb, math.Pi/2-1)
+	}
+	if math.Abs(nmMMSE-(1-2/math.Pi)) > 0.08 {
+		t.Errorf("mmse one-shot NMSE %v, want ≈%v", nmMMSE, 1-2/math.Pi)
+	}
+	if nmMMSE >= nmUnb {
+		t.Errorf("MMSE one-shot %v should beat unbiased %v", nmMMSE, nmUnb)
+	}
+
+	meanOf := func(c Codec, trials int) float64 {
+		mean := make([]float32, len(row))
+		for i := 0; i < trials; i++ {
+			enc, _ := c.Encode(row, xrand.Seed(600, uint64(i)))
+			dec, _ := c.Decode(enc, nil, trimmed)
+			vecmath.Add(mean, dec)
+		}
+		vecmath.Scale(mean, 1/float32(trials))
+		return vecmath.NMSE(row, mean)
+	}
+	const trials = 300
+	if mu, mm := meanOf(unb, trials), meanOf(mmse, trials); mu >= mm {
+		t.Errorf("after averaging, unbiased %v should beat MMSE %v (bias floor)", mu, mm)
+	}
+}

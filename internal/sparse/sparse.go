@@ -1,0 +1,171 @@
+// Package sparse implements the sparsification-based compression the
+// paper discusses as related and future work: magnitude top-k selection
+// with error feedback (§5.2), MLT-style magnitude-ordered packet layout
+// whose trimming discards the least important coordinates (§2, Figure 2),
+// and the composition of sparsification with trimmable encoding (§5.3).
+package sparse
+
+import (
+	"fmt"
+
+	"trimgrad/internal/vecmath"
+)
+
+// TopK selects the k largest-magnitude coordinates of v, returning their
+// indices (ascending) and values. k is clamped to len(v).
+func TopK(v []float32, k int) (idx []int, vals []float32) {
+	sel := vecmath.TopKIndices(v, k)
+	// Ascending index order makes densify cache-friendly and the output
+	// deterministic.
+	idx = append([]int(nil), sel...)
+	sortInts(idx)
+	vals = make([]float32, len(idx))
+	for i, j := range idx {
+		vals[i] = v[j]
+	}
+	return idx, vals
+}
+
+func sortInts(v []int) {
+	// Insertion sort is fine for the sizes used per row; avoid pulling in
+	// sort for a hot path with mostly-sorted data.
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+// Densify scatters (idx, vals) back into a length-n vector.
+func Densify(n int, idx []int, vals []float32) ([]float32, error) {
+	if len(idx) != len(vals) {
+		return nil, fmt.Errorf("sparse: %d indices, %d values", len(idx), len(vals))
+	}
+	out := make([]float32, n)
+	for i, j := range idx {
+		if j < 0 || j >= n {
+			return nil, fmt.Errorf("sparse: index %d out of range %d", j, n)
+		}
+		out[j] = vals[i]
+	}
+	return out, nil
+}
+
+// ErrorFeedback accumulates the residual each round discards, adding it
+// back before the next compression — the standard trick that keeps
+// sparsified SGD convergent.
+type ErrorFeedback struct {
+	resid []float32
+}
+
+// Compensate returns g + residual (allocating the residual on first use).
+func (e *ErrorFeedback) Compensate(g []float32) []float32 {
+	if e.resid == nil {
+		e.resid = make([]float32, len(g))
+	}
+	if len(e.resid) != len(g) {
+		panic("sparse: gradient length changed under error feedback")
+	}
+	out := make([]float32, len(g))
+	for i := range g {
+		out[i] = g[i] + e.resid[i]
+	}
+	return out
+}
+
+// Update records the residual: compensated minus what was actually sent.
+func (e *ErrorFeedback) Update(compensated, sent []float32) {
+	if e.resid == nil {
+		e.resid = make([]float32, len(compensated))
+	}
+	for i := range compensated {
+		e.resid[i] = compensated[i] - sent[i]
+	}
+}
+
+// Assignment maps gradient coordinates to packets so that in-packet order
+// follows global magnitude rank: rank r lands in packet r mod P at slot
+// r div P. Trimming every packet by a fraction then discards exactly the
+// globally smallest coordinates — the paper's §2 layout.
+type Assignment struct {
+	// Packets[p] lists coordinate indices in slot order.
+	Packets [][]int
+	// N is the total coordinate count.
+	N int
+}
+
+// AssignSorted builds the magnitude-ranked round-robin assignment of v's
+// coordinates into packets of perPacket slots.
+func AssignSorted(v []float32, perPacket int) *Assignment {
+	if perPacket <= 0 {
+		panic("sparse: perPacket must be positive")
+	}
+	rank := vecmath.MagnitudeOrder(v)
+	nPkt := (len(v) + perPacket - 1) / perPacket
+	a := &Assignment{Packets: make([][]int, nPkt), N: len(v)}
+	for r, coord := range rank {
+		p := r % nPkt
+		a.Packets[p] = append(a.Packets[p], coord)
+	}
+	return a
+}
+
+// AssignContiguous is the unsorted baseline: coordinates packed in index
+// order.
+func AssignContiguous(n, perPacket int) *Assignment {
+	if perPacket <= 0 {
+		panic("sparse: perPacket must be positive")
+	}
+	nPkt := (n + perPacket - 1) / perPacket
+	a := &Assignment{Packets: make([][]int, 0, nPkt), N: n}
+	for start := 0; start < n; start += perPacket {
+		end := start + perPacket
+		if end > n {
+			end = n
+		}
+		pkt := make([]int, 0, end-start)
+		for i := start; i < end; i++ {
+			pkt = append(pkt, i)
+		}
+		a.Packets = append(a.Packets, pkt)
+	}
+	return a
+}
+
+// Survivors returns the coordinate-availability mask after trimming each
+// packet in trimmed to keepFrac of its slots (front slots survive, as
+// packet trimming cuts the tail).
+func (a *Assignment) Survivors(trimmed []bool, keepFrac float64) []bool {
+	if len(trimmed) != len(a.Packets) {
+		panic("sparse: trimmed mask length mismatch")
+	}
+	if keepFrac < 0 {
+		keepFrac = 0
+	}
+	if keepFrac > 1 {
+		keepFrac = 1
+	}
+	alive := make([]bool, a.N)
+	for p, pkt := range a.Packets {
+		keep := len(pkt)
+		if trimmed[p] {
+			keep = int(float64(len(pkt)) * keepFrac)
+		}
+		for s := 0; s < keep; s++ {
+			alive[pkt[s]] = true
+		}
+	}
+	return alive
+}
+
+// ApplyMask zeroes coordinates whose mask entry is false, returning a new
+// vector.
+func ApplyMask(v []float32, alive []bool) []float32 {
+	out := make([]float32, len(v))
+	for i, ok := range alive {
+		if ok {
+			out[i] = v[i]
+		}
+	}
+	return out
+}

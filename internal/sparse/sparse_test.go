@@ -1,0 +1,213 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+
+	"trimgrad/internal/vecmath"
+	"trimgrad/internal/xrand"
+)
+
+func randVec(seed uint64, n int) []float32 {
+	r := xrand.New(seed)
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = float32(r.NormFloat64())
+	}
+	return v
+}
+
+func TestTopKAndDensify(t *testing.T) {
+	v := []float32{0.1, -5, 3, -0.2, 4}
+	idx, vals := TopK(v, 3)
+	want := []int{1, 2, 4}
+	for i := range want {
+		if idx[i] != want[i] {
+			t.Fatalf("idx = %v, want %v", idx, want)
+		}
+	}
+	dense, err := Densify(5, idx, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDense := []float32{0, -5, 3, 0, 4}
+	for i := range wantDense {
+		if dense[i] != wantDense[i] {
+			t.Fatalf("dense = %v", dense)
+		}
+	}
+	// k clamps.
+	idx2, _ := TopK(v, 99)
+	if len(idx2) != 5 {
+		t.Fatalf("clamped k = %d", len(idx2))
+	}
+}
+
+func TestDensifyValidation(t *testing.T) {
+	if _, err := Densify(3, []int{0, 1}, []float32{1}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := Densify(3, []int{5}, []float32{1}); err == nil {
+		t.Error("out-of-range index should fail")
+	}
+}
+
+func TestErrorFeedbackAccumulates(t *testing.T) {
+	var ef ErrorFeedback
+	g := []float32{1, 2, 3}
+	comp := ef.Compensate(g)
+	for i := range g {
+		if comp[i] != g[i] {
+			t.Fatal("first compensation should be identity")
+		}
+	}
+	sent := []float32{1, 0, 3} // dropped the middle coordinate
+	ef.Update(comp, sent)
+	comp2 := ef.Compensate(g)
+	if comp2[1] != 4 { // 2 + residual 2
+		t.Fatalf("comp2[1] = %v, want 4", comp2[1])
+	}
+	if comp2[0] != 1 || comp2[2] != 3 {
+		t.Fatal("untouched coordinates should have zero residual")
+	}
+}
+
+// TestTopKWithEFConverges: repeated top-k with error feedback must
+// eventually transmit all the mass of a fixed vector.
+func TestTopKWithEFConverges(t *testing.T) {
+	v := randVec(1, 256)
+	var ef ErrorFeedback
+	acc := make([]float32, len(v))
+	for round := 0; round < 40; round++ {
+		comp := ef.Compensate(v)
+		idx, vals := TopK(comp, 32)
+		sent, _ := Densify(len(v), idx, vals)
+		ef.Update(comp, sent)
+		vecmath.Add(acc, sent)
+	}
+	// acc should approximate 40·... no: each round sends part of v plus
+	// backlog; after R rounds the cumulative sent mass approaches R·v for
+	// the large coords and (R−lag)·v overall. Check direction instead.
+	if cos := vecmath.CosineSimilarity(v, acc); cos < 0.95 {
+		t.Errorf("cumulative EF direction cos = %v", cos)
+	}
+}
+
+func TestAssignSortedStructure(t *testing.T) {
+	v := []float32{5, -4, 3, -2, 1, 0.5}
+	a := AssignSorted(v, 2) // 3 packets × 2 slots
+	if len(a.Packets) != 3 {
+		t.Fatalf("packets = %d", len(a.Packets))
+	}
+	// Rank order: 0(5),1(4),2(3),3(2),4(1),5(0.5); round-robin:
+	// pkt0 = [0, 3], pkt1 = [1, 4], pkt2 = [2, 5].
+	want := [][]int{{0, 3}, {1, 4}, {2, 5}}
+	for p := range want {
+		for s := range want[p] {
+			if a.Packets[p][s] != want[p][s] {
+				t.Fatalf("assignment = %v, want %v", a.Packets, want)
+			}
+		}
+	}
+}
+
+// TestSortedTrimDropsSmallest is experiment E6's core property: trimming
+// all packets of the sorted layout to 50% keeps exactly the
+// largest-magnitude half.
+func TestSortedTrimDropsSmallest(t *testing.T) {
+	v := randVec(2, 1000)
+	a := AssignSorted(v, 100)
+	trimmedAll := make([]bool, len(a.Packets))
+	for i := range trimmedAll {
+		trimmedAll[i] = true
+	}
+	alive := a.Survivors(trimmedAll, 0.5)
+	// Every surviving coordinate must be ≥ every dropped coordinate in
+	// magnitude (up to rank ties at the boundary).
+	minAlive := math.Inf(1)
+	maxDead := 0.0
+	nAlive := 0
+	for i, ok := range alive {
+		m := math.Abs(float64(v[i]))
+		if ok {
+			nAlive++
+			if m < minAlive {
+				minAlive = m
+			}
+		} else if m > maxDead {
+			maxDead = m
+		}
+	}
+	if nAlive != 500 {
+		t.Fatalf("alive = %d, want 500", nAlive)
+	}
+	if maxDead > minAlive+1e-6 {
+		t.Errorf("dropped coord %v exceeds surviving %v", maxDead, minAlive)
+	}
+}
+
+// TestSortedBeatsContiguous: under identical trimming, the sorted layout
+// preserves much more gradient energy than the contiguous baseline.
+func TestSortedBeatsContiguous(t *testing.T) {
+	v := randVec(3, 2000)
+	sorted := AssignSorted(v, 200)
+	contig := AssignContiguous(len(v), 200)
+	trimmedAll := make([]bool, len(sorted.Packets))
+	for i := range trimmedAll {
+		trimmedAll[i] = true
+	}
+	keep := 0.5
+	vs := ApplyMask(v, sorted.Survivors(trimmedAll, keep))
+	vc := ApplyMask(v, contig.Survivors(trimmedAll, keep))
+	nmseSorted := vecmath.NMSE(v, vs)
+	nmseContig := vecmath.NMSE(v, vc)
+	if nmseSorted >= nmseContig/2 {
+		t.Errorf("sorted NMSE %v should be well below contiguous %v",
+			nmseSorted, nmseContig)
+	}
+}
+
+// TestMLTTolerance mirrors the MLT observation the paper cites: dropping
+// the smallest 20%% of coordinates barely changes the vector, while
+// dropping the largest 20%% destroys it.
+func TestMLTTolerance(t *testing.T) {
+	v := randVec(4, 5000)
+	order := vecmath.MagnitudeOrder(v)
+	dropSmall := append([]float32(nil), v...)
+	dropLarge := append([]float32(nil), v...)
+	n20 := len(v) / 5
+	for _, i := range order[len(order)-n20:] {
+		dropSmall[i] = 0
+	}
+	for _, i := range order[:n20] {
+		dropLarge[i] = 0
+	}
+	nmseSmall := vecmath.NMSE(v, dropSmall)
+	nmseLarge := vecmath.NMSE(v, dropLarge)
+	if nmseSmall > 0.02 {
+		t.Errorf("dropping smallest 20%%: NMSE %v, want tiny", nmseSmall)
+	}
+	if nmseLarge < 0.5 {
+		t.Errorf("dropping largest 20%%: NMSE %v, want large", nmseLarge)
+	}
+}
+
+func TestSurvivorsUntrimmedKeepsAll(t *testing.T) {
+	v := randVec(5, 100)
+	a := AssignSorted(v, 10)
+	alive := a.Survivors(make([]bool, len(a.Packets)), 0)
+	for i, ok := range alive {
+		if !ok {
+			t.Fatalf("coord %d lost without trimming", i)
+		}
+	}
+}
+
+func TestAssignValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("perPacket 0 should panic")
+		}
+	}()
+	AssignContiguous(10, 0)
+}

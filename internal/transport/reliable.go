@@ -1,0 +1,208 @@
+package transport
+
+import "trimgrad/internal/netsim"
+
+// The reliable protocol: selective-repeat ARQ with per-message state, a
+// single RTO timer per message, and AIMD window adjustment driven by ECN
+// echoes — a deliberately conventional design standing in for the
+// NCCL-over-RoCE/TCP baseline whose loss behaviour §4.4 measures.
+
+// relData is the control header of a reliable data packet.
+type relData struct {
+	MsgID uint32
+	Idx   int
+	Total int
+}
+
+// relAck acknowledges one reliable data packet.
+type relAck struct {
+	MsgID uint32
+	Idx   int
+	Total int
+	ECE   bool
+}
+
+type relSender struct {
+	stack    *Stack
+	dst      netsim.NodeID
+	id       uint32
+	payloads [][]byte
+	acked    []bool
+	inFlight map[int]bool
+	nAcked   int
+	nextIdx  int
+	cwnd     float64
+	retries  int
+	done     func(at netsim.Time)
+	failed   func()
+	timerGen int
+	finished bool
+}
+
+// SendReliable transmits payloads to dst as message id, invoking done when
+// every packet has been acknowledged, or failed after MaxRetries timeout
+// rounds. Payload slices are not copied; callers must not mutate them.
+func (s *Stack) SendReliable(dst netsim.NodeID, id uint32, payloads [][]byte,
+	done func(at netsim.Time), failed func()) {
+	tx := &relSender{
+		stack:    s,
+		dst:      dst,
+		id:       id,
+		payloads: payloads,
+		acked:    make([]bool, len(payloads)),
+		inFlight: make(map[int]bool),
+		cwnd:     float64(s.cfg.InitWindow),
+		done:     done,
+		failed:   failed,
+	}
+	s.relTx[msgKey{dst, id}] = tx
+	tx.pump()
+	tx.armTimer()
+}
+
+// pump transmits as many unsent, unacked packets as the window allows.
+func (tx *relSender) pump() {
+	for len(tx.inFlight) < int(tx.cwnd) && tx.nextIdx < len(tx.payloads) {
+		idx := tx.nextIdx
+		tx.nextIdx++
+		if tx.acked[idx] {
+			continue
+		}
+		tx.transmit(idx)
+	}
+}
+
+func (tx *relSender) transmit(idx int) {
+	tx.inFlight[idx] = true
+	tx.stack.Stats.DataSent++
+	tx.stack.host.Send(&netsim.Packet{
+		Dst:     tx.dst,
+		Size:    payloadSize(tx.payloads[idx]),
+		Payload: tx.payloads[idx],
+		Kind:    "rel-data",
+		FlowID:  uint64(tx.id),
+		Seq:     uint64(idx),
+		Control: relData{MsgID: tx.id, Idx: idx, Total: len(tx.payloads)},
+	})
+}
+
+func (tx *relSender) armTimer() {
+	tx.timerGen++
+	gen := tx.timerGen
+	tx.stack.sim.After(tx.stack.cfg.RTO, func() {
+		if tx.finished || gen != tx.timerGen {
+			return
+		}
+		tx.onTimeout()
+	})
+}
+
+func (tx *relSender) onTimeout() {
+	tx.stack.Stats.Timeouts++
+	tx.retries++
+	if tx.retries > tx.stack.cfg.MaxRetries {
+		tx.finished = true
+		tx.stack.Stats.Failures++
+		delete(tx.stack.relTx, msgKey{tx.dst, tx.id})
+		if tx.failed != nil {
+			tx.failed()
+		}
+		return
+	}
+	// Multiplicative decrease and go-back over the unacked set.
+	tx.cwnd = tx.cwnd / 2
+	if tx.cwnd < 1 {
+		tx.cwnd = 1
+	}
+	tx.inFlight = make(map[int]bool)
+	resent := 0
+	for idx, ok := range tx.acked {
+		if ok {
+			continue
+		}
+		if resent >= int(tx.cwnd) {
+			break
+		}
+		tx.transmit(idx)
+		tx.stack.Stats.Retransmits++
+		resent++
+	}
+	tx.armTimer()
+}
+
+func (tx *relSender) onAck(a relAck) {
+	if tx.finished || a.Idx < 0 || a.Idx >= len(tx.acked) {
+		return
+	}
+	if !tx.acked[a.Idx] {
+		tx.acked[a.Idx] = true
+		tx.nAcked++
+		delete(tx.inFlight, a.Idx)
+		if a.ECE {
+			// One multiplicative decrease per marked ack keeps this
+			// simple; DCTCP-style fractional reaction is not needed for
+			// the shapes we reproduce.
+			tx.cwnd = tx.cwnd * 0.8
+			if tx.cwnd < 1 {
+				tx.cwnd = 1
+			}
+		} else {
+			tx.cwnd += 1.0 / tx.cwnd // additive increase
+			if tx.cwnd > float64(tx.stack.cfg.MaxWindow) {
+				tx.cwnd = float64(tx.stack.cfg.MaxWindow)
+			}
+		}
+	}
+	if tx.nAcked == len(tx.payloads) {
+		tx.finished = true
+		delete(tx.stack.relTx, msgKey{tx.dst, tx.id})
+		if tx.done != nil {
+			tx.done(tx.stack.sim.Now())
+		}
+		return
+	}
+	tx.pump()
+	tx.armTimer()
+}
+
+type relReceiver struct {
+	got      []bool
+	nGot     int
+	complete bool
+}
+
+func (s *Stack) handleRelData(p *netsim.Packet, c relData) {
+	key := msgKey{p.Src, c.MsgID}
+	rx := s.relRx[key]
+	if rx == nil {
+		rx = &relReceiver{got: make([]bool, c.Total)}
+		s.relRx[key] = rx
+	}
+	// Echo ECN into the ack so the sender reacts.
+	s.Stats.AcksSent++
+	s.host.Send(&netsim.Packet{
+		Dst:     p.Src,
+		Size:    ackSize,
+		Prio:    netsim.PrioHigh,
+		Kind:    "rel-ack",
+		Control: relAck{MsgID: c.MsgID, Idx: c.Idx, Total: c.Total, ECE: p.ECE},
+	})
+	if c.Idx < 0 || c.Idx >= len(rx.got) || rx.got[c.Idx] {
+		return // duplicate
+	}
+	rx.got[c.Idx] = true
+	rx.nGot++
+	s.deliver(p.Src, p.Payload)
+	if rx.nGot == c.Total && !rx.complete {
+		rx.complete = true
+		if s.OnMessageComplete != nil {
+			s.OnMessageComplete(p.Src, c.MsgID, s.sim.Now())
+		}
+	}
+}
+
+func (s *Stack) handleRelAck(p *netsim.Packet, c relAck) {
+	if tx := s.relTx[msgKey{p.Src, c.MsgID}]; tx != nil {
+		tx.onAck(c)
+	}
+}

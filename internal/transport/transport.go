@@ -1,0 +1,157 @@
+// Package transport implements the two endpoint protocols the paper
+// contrasts:
+//
+//   - Reliable — the conventional *ccl-style transport: every packet must
+//     arrive intact, losses are detected by timeout and repaired by
+//     retransmission, and an AIMD window reacts to ECN marks. This is the
+//     baseline whose retransmission stalls create the stragglers of §1.
+//
+//   - TrimAware — the trimmable-gradients transport: data packets are
+//     blasted at line rate (trimming, not dropping, is the congestion
+//     response), a trimmed packet is *accepted as final* with no
+//     retransmission, and only the tiny metadata packets and rare
+//     full drops are repaired via a receiver-driven NACK.
+//
+// Both run over the netsim fabric. One Stack is attached per host and
+// demultiplexes by message; the application (package collective) registers
+// a Receiver to consume delivered payloads.
+package transport
+
+import (
+	"trimgrad/internal/netsim"
+	"trimgrad/internal/wire"
+)
+
+// Config tunes the protocols.
+type Config struct {
+	// RTO is the retransmission timeout.
+	RTO netsim.Time
+	// InitWindow is the reliable sender's initial congestion window in
+	// packets.
+	InitWindow int
+	// MaxWindow caps the reliable congestion window.
+	MaxWindow int
+	// MaxRetries bounds per-message retransmission rounds before the
+	// message errors out (the paper's NCCL "timeout errors" under loss).
+	MaxRetries int
+}
+
+func (c Config) withDefaults() Config {
+	if c.RTO == 0 {
+		c.RTO = 500 * netsim.Microsecond
+	}
+	if c.InitWindow == 0 {
+		c.InitWindow = 12
+	}
+	if c.MaxWindow == 0 {
+		c.MaxWindow = 256
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 50
+	}
+	return c
+}
+
+// ackSize is the wire size of control packets (acks, nacks, done).
+const ackSize = 64
+
+// Receiver consumes the payloads of delivered data/metadata packets.
+type Receiver interface {
+	// HandlePayload is called once per delivered packet with the (possibly
+	// trimmed) trimgrad wire bytes.
+	HandlePayload(src netsim.NodeID, payload []byte)
+}
+
+// ReceiverFunc adapts a function to the Receiver interface.
+type ReceiverFunc func(src netsim.NodeID, payload []byte)
+
+// HandlePayload implements Receiver.
+func (f ReceiverFunc) HandlePayload(src netsim.NodeID, payload []byte) { f(src, payload) }
+
+// Stats counts transport-level events on one stack.
+type Stats struct {
+	DataSent        int
+	DataDelivered   int
+	TrimmedReceived int
+	Retransmits     int
+	Timeouts        int
+	AcksSent        int
+	NacksSent       int
+	Failures        int // messages that exhausted MaxRetries
+}
+
+// Stack is the per-host transport endpoint. Create one per host with
+// NewStack; it takes over the host's packet handler.
+type Stack struct {
+	host *netsim.Host
+	sim  *netsim.Sim
+	cfg  Config
+
+	// Receiver consumes delivered payloads; may be nil.
+	Receiver Receiver
+	// OnMessageComplete fires at the receiver when a message's packets
+	// have all been accounted for (reliable: all intact; trim-aware: all
+	// heads present).
+	OnMessageComplete func(src netsim.NodeID, msgID uint32, at netsim.Time)
+
+	Stats Stats
+
+	relTx  map[msgKey]*relSender
+	relRx  map[msgKey]*relReceiver
+	trimTx map[msgKey]*trimSender
+	trimRx map[msgKey]*trimReceiver
+}
+
+type msgKey struct {
+	peer netsim.NodeID
+	id   uint32
+}
+
+// NewStack attaches a transport stack to h.
+func NewStack(h *netsim.Host, cfg Config) *Stack {
+	s := &Stack{
+		host:   h,
+		sim:    h.Sim(),
+		cfg:    cfg.withDefaults(),
+		relTx:  make(map[msgKey]*relSender),
+		relRx:  make(map[msgKey]*relReceiver),
+		trimTx: make(map[msgKey]*trimSender),
+		trimRx: make(map[msgKey]*trimReceiver),
+	}
+	h.Handler = s.handle
+	return s
+}
+
+// Host returns the underlying simulated host.
+func (s *Stack) Host() *netsim.Host { return s.host }
+
+func (s *Stack) handle(p *netsim.Packet) {
+	switch c := p.Control.(type) {
+	case relData:
+		s.handleRelData(p, c)
+	case relAck:
+		s.handleRelAck(p, c)
+	case trimData:
+		s.handleTrimData(p, c)
+	case trimMeta:
+		s.handleTrimMeta(p, c)
+	case trimMetaAck:
+		s.handleTrimMetaAck(p, c)
+	case trimDone:
+		s.handleTrimDone(p, c)
+	case trimNack:
+		s.handleTrimNack(p, c)
+	default:
+		// Opaque cross traffic: ignore.
+	}
+}
+
+func (s *Stack) deliver(src netsim.NodeID, payload []byte) {
+	if s.Receiver != nil {
+		s.Receiver.HandlePayload(src, payload)
+	}
+	s.Stats.DataDelivered++
+}
+
+// payloadSize is the wire size of a packet carrying payload.
+func payloadSize(payload []byte) int { return len(payload) + wire.NetOverhead }

@@ -1,0 +1,323 @@
+package transport
+
+import "trimgrad/internal/netsim"
+
+// The trim-aware protocol of the paper: metadata packets travel a tiny
+// reliable side channel (high priority, ack + RTO), while data packets are
+// sent once at line rate. A switch under congestion trims data packets
+// instead of dropping them; the receiver accepts a trimmed packet as final
+// — the gradient has simply been compressed in-network — so there are no
+// retransmission stalls. Only packets lost *entirely* (rare: the trimmed
+// header itself overflowed the high-priority queue) are recovered by a
+// receiver-driven NACK, NDP-style.
+
+// trimData is the control header of a trim-aware data packet.
+type trimData struct {
+	MsgID uint32
+	Idx   int
+	Total int
+}
+
+// trimMeta carries one reliable metadata payload.
+type trimMeta struct {
+	MsgID uint32
+	Idx   int
+	Total int
+}
+
+// trimMetaAck acknowledges one metadata packet.
+type trimMetaAck struct {
+	MsgID uint32
+	Idx   int
+}
+
+// trimDone tells the sender the receiver has accounted for every packet.
+type trimDone struct {
+	MsgID uint32
+}
+
+// trimNack lists data packets whose heads never arrived.
+type trimNack struct {
+	MsgID   uint32
+	Missing []int
+}
+
+type trimSender struct {
+	stack     *Stack
+	dst       netsim.NodeID
+	id        uint32
+	metas     [][]byte
+	data      [][]byte
+	metaAcked []bool
+	nMetaAck  int
+	retries   int
+	done      func(at netsim.Time)
+	failed    func()
+	finished  bool
+	timerGen  int
+}
+
+// SendTrimmable transmits a trimmable message: metas reliably, data
+// packets once at line rate. done fires when the receiver confirms every
+// packet was accounted for (delivered or trimmed).
+func (s *Stack) SendTrimmable(dst netsim.NodeID, id uint32, metas, data [][]byte,
+	done func(at netsim.Time), failed func()) {
+	tx := &trimSender{
+		stack: s, dst: dst, id: id,
+		metas: metas, data: data,
+		metaAcked: make([]bool, len(metas)),
+		done:      done, failed: failed,
+	}
+	s.trimTx[msgKey{dst, id}] = tx
+	for i := range metas {
+		tx.sendMeta(i)
+	}
+	for i := range data {
+		tx.sendData(i)
+	}
+	tx.armTimer()
+}
+
+func (tx *trimSender) sendMeta(idx int) {
+	tx.stack.host.Send(&netsim.Packet{
+		Dst:     tx.dst,
+		Size:    payloadSize(tx.metas[idx]),
+		Prio:    netsim.PrioHigh,
+		Payload: tx.metas[idx],
+		Kind:    "trim-meta",
+		FlowID:  uint64(tx.id),
+		Control: trimMeta{MsgID: tx.id, Idx: idx, Total: len(tx.metas)},
+	})
+}
+
+func (tx *trimSender) sendData(idx int) {
+	tx.stack.Stats.DataSent++
+	tx.stack.host.Send(&netsim.Packet{
+		Dst:     tx.dst,
+		Size:    payloadSize(tx.data[idx]),
+		Payload: tx.data[idx],
+		Kind:    "trim-data",
+		FlowID:  uint64(tx.id),
+		Seq:     uint64(idx),
+		Control: trimData{MsgID: tx.id, Idx: idx, Total: len(tx.data)},
+	})
+}
+
+func (tx *trimSender) armTimer() {
+	tx.timerGen++
+	gen := tx.timerGen
+	tx.stack.sim.After(tx.stack.cfg.RTO, func() {
+		if tx.finished || gen != tx.timerGen {
+			return
+		}
+		tx.onTimeout()
+	})
+}
+
+// onTimeout re-sends unacked metadata. Data packets are NOT blindly
+// retransmitted — the receiver NACKs exactly what is missing.
+func (tx *trimSender) onTimeout() {
+	tx.stack.Stats.Timeouts++
+	tx.retries++
+	if tx.retries > tx.stack.cfg.MaxRetries {
+		tx.finished = true
+		tx.stack.Stats.Failures++
+		delete(tx.stack.trimTx, msgKey{tx.dst, tx.id})
+		if tx.failed != nil {
+			tx.failed()
+		}
+		return
+	}
+	for i, ok := range tx.metaAcked {
+		if !ok {
+			tx.sendMeta(i)
+			tx.stack.Stats.Retransmits++
+		}
+	}
+	// Fallback for the pathological case where *every* data packet of the
+	// message was lost: the receiver never learned the data count, so its
+	// NACK cannot fire. After a few quiet RTOs, re-blast the data.
+	if tx.nMetaAck == len(tx.metaAcked) && tx.retries >= 3 && tx.retries%3 == 0 {
+		for i := range tx.data {
+			tx.sendData(i)
+			tx.stack.Stats.Retransmits++
+		}
+	}
+	tx.armTimer()
+}
+
+func (tx *trimSender) onMetaAck(idx int) {
+	if tx.finished || idx < 0 || idx >= len(tx.metaAcked) || tx.metaAcked[idx] {
+		return
+	}
+	tx.metaAcked[idx] = true
+	tx.nMetaAck++
+}
+
+func (tx *trimSender) onNack(missing []int) {
+	if tx.finished {
+		return
+	}
+	for _, idx := range missing {
+		if idx >= 0 && idx < len(tx.data) {
+			tx.sendData(idx)
+			tx.stack.Stats.Retransmits++
+		}
+	}
+	tx.armTimer()
+}
+
+func (tx *trimSender) onDone() {
+	if tx.finished {
+		return
+	}
+	tx.finished = true
+	delete(tx.stack.trimTx, msgKey{tx.dst, tx.id})
+	if tx.done != nil {
+		tx.done(tx.stack.sim.Now())
+	}
+}
+
+type trimReceiver struct {
+	stack    *Stack
+	src      netsim.NodeID
+	id       uint32
+	metaGot  []bool
+	nMetaGot int
+	dataGot  []bool
+	nDataGot int
+	complete bool
+	nackGen  int
+}
+
+func (s *Stack) trimReceiverFor(src netsim.NodeID, id uint32, nMeta, nData int) *trimReceiver {
+	key := msgKey{src, id}
+	rx := s.trimRx[key]
+	if rx == nil {
+		rx = &trimReceiver{stack: s, src: src, id: id}
+		s.trimRx[key] = rx
+	}
+	if rx.metaGot == nil && nMeta > 0 {
+		rx.metaGot = make([]bool, nMeta)
+	}
+	if rx.dataGot == nil && nData > 0 {
+		rx.dataGot = make([]bool, nData)
+	}
+	return rx
+}
+
+func (s *Stack) handleTrimMeta(p *netsim.Packet, c trimMeta) {
+	rx := s.trimReceiverFor(p.Src, c.MsgID, c.Total, 0)
+	// Always ack, even duplicates: the ack may have been lost.
+	s.Stats.AcksSent++
+	s.host.Send(&netsim.Packet{
+		Dst:     p.Src,
+		Size:    ackSize,
+		Prio:    netsim.PrioHigh,
+		Kind:    "trim-meta-ack",
+		Control: trimMetaAck{MsgID: c.MsgID, Idx: c.Idx},
+	})
+	if c.Idx < 0 || c.Idx >= len(rx.metaGot) || rx.metaGot[c.Idx] {
+		// A duplicate meta implies the sender missed our done: repeat it.
+		if rx.complete {
+			rx.sendDone()
+		}
+		return
+	}
+	rx.metaGot[c.Idx] = true
+	rx.nMetaGot++
+	s.deliver(p.Src, p.Payload)
+	rx.maybeComplete()
+}
+
+func (s *Stack) handleTrimData(p *netsim.Packet, c trimData) {
+	rx := s.trimReceiverFor(p.Src, c.MsgID, 0, c.Total)
+	if p.Trimmed {
+		s.Stats.TrimmedReceived++
+	}
+	if c.Idx < 0 || c.Idx >= len(rx.dataGot) || rx.dataGot[c.Idx] {
+		return
+	}
+	rx.dataGot[c.Idx] = true
+	rx.nDataGot++
+	s.deliver(p.Src, p.Payload)
+	rx.armNack()
+	rx.maybeComplete()
+}
+
+func (s *Stack) handleTrimMetaAck(p *netsim.Packet, c trimMetaAck) {
+	if tx := s.trimTx[msgKey{p.Src, c.MsgID}]; tx != nil {
+		tx.onMetaAck(c.Idx)
+	}
+}
+
+func (s *Stack) handleTrimDone(p *netsim.Packet, c trimDone) {
+	if tx := s.trimTx[msgKey{p.Src, c.MsgID}]; tx != nil {
+		tx.onDone()
+	}
+}
+
+func (s *Stack) handleTrimNack(p *netsim.Packet, c trimNack) {
+	if tx := s.trimTx[msgKey{p.Src, c.MsgID}]; tx != nil {
+		tx.onNack(c.Missing)
+	}
+}
+
+// maybeComplete signals the sender (and the app) when all metas and all
+// data heads are in.
+func (rx *trimReceiver) maybeComplete() {
+	if rx.complete || rx.dataGot == nil || rx.metaGot == nil {
+		return
+	}
+	if rx.nDataGot < len(rx.dataGot) || rx.nMetaGot < len(rx.metaGot) {
+		return
+	}
+	rx.complete = true
+	rx.sendDone()
+	if rx.stack.OnMessageComplete != nil {
+		rx.stack.OnMessageComplete(rx.src, rx.id, rx.stack.sim.Now())
+	}
+}
+
+func (rx *trimReceiver) sendDone() {
+	rx.stack.host.Send(&netsim.Packet{
+		Dst:     rx.src,
+		Size:    ackSize,
+		Prio:    netsim.PrioHigh,
+		Kind:    "trim-done",
+		Control: trimDone{MsgID: rx.id},
+	})
+}
+
+// armNack schedules a gap check one RTO after the most recent data
+// arrival; if packets are still missing, it NACKs them.
+func (rx *trimReceiver) armNack() {
+	rx.nackGen++
+	gen := rx.nackGen
+	rx.stack.sim.After(rx.stack.cfg.RTO, func() {
+		if rx.complete || gen != rx.nackGen {
+			return
+		}
+		var missing []int
+		for i, ok := range rx.dataGot {
+			if !ok {
+				missing = append(missing, i)
+				if len(missing) >= 128 {
+					break
+				}
+			}
+		}
+		if len(missing) == 0 {
+			return
+		}
+		rx.stack.Stats.NacksSent++
+		rx.stack.host.Send(&netsim.Packet{
+			Dst:     rx.src,
+			Size:    ackSize + 4*len(missing),
+			Prio:    netsim.PrioHigh,
+			Kind:    "trim-nack",
+			Control: trimNack{MsgID: rx.id, Missing: missing},
+		})
+		rx.armNack()
+	})
+}

@@ -1,0 +1,101 @@
+package vecmath
+
+// Bit-packing helpers shared by the quantizers and the wire format. Heads
+// and tails are bit-addressed regions inside a packet payload; a BitWriter
+// appends fields MSB-within-byte first (network-friendly, so a truncated
+// byte stream still yields a readable bit prefix), and a BitReader consumes
+// the same layout.
+
+// BitWriter accumulates a bit stream into a byte slice. The zero value is
+// an empty writer ready for use.
+type BitWriter struct {
+	buf  []byte
+	nBit int // total bits written
+}
+
+// NewBitWriter returns a writer with capacity pre-allocated for nBits.
+func NewBitWriter(nBits int) *BitWriter {
+	return &BitWriter{buf: make([]byte, 0, (nBits+7)/8)}
+}
+
+// WriteBit appends one bit (the low bit of b).
+func (w *BitWriter) WriteBit(b uint) {
+	if w.nBit%8 == 0 {
+		w.buf = append(w.buf, 0)
+	}
+	if b&1 != 0 {
+		w.buf[w.nBit/8] |= 1 << uint(7-w.nBit%8)
+	}
+	w.nBit++
+}
+
+// WriteBits appends the low width bits of v, most significant bit first.
+// It panics if width is outside [0, 64].
+func (w *BitWriter) WriteBits(v uint64, width int) {
+	if width < 0 || width > 64 {
+		panic("vecmath: BitWriter width out of range")
+	}
+	for i := width - 1; i >= 0; i-- {
+		w.WriteBit(uint(v >> uint(i)))
+	}
+}
+
+// Len returns the number of bits written so far.
+func (w *BitWriter) Len() int { return w.nBit }
+
+// Bytes returns the backing byte slice. Unused trailing bits are zero.
+// The slice aliases the writer's internal buffer.
+func (w *BitWriter) Bytes() []byte { return w.buf }
+
+// Reset clears the writer for reuse, keeping the allocation.
+func (w *BitWriter) Reset() {
+	w.buf = w.buf[:0]
+	w.nBit = 0
+}
+
+// BitReader consumes a bit stream produced by BitWriter.
+type BitReader struct {
+	buf  []byte
+	pos  int // bit position
+	nBit int // total readable bits
+}
+
+// NewBitReader returns a reader over buf exposing nBits bits. If nBits is
+// negative, all of buf is readable.
+func NewBitReader(buf []byte, nBits int) *BitReader {
+	if nBits < 0 || nBits > len(buf)*8 {
+		nBits = len(buf) * 8
+	}
+	return &BitReader{buf: buf, nBit: nBits}
+}
+
+// ReadBit returns the next bit, or (0, false) when exhausted.
+func (r *BitReader) ReadBit() (uint, bool) {
+	if r.pos >= r.nBit {
+		return 0, false
+	}
+	b := uint(r.buf[r.pos/8]>>uint(7-r.pos%8)) & 1
+	r.pos++
+	return b, true
+}
+
+// ReadBits returns the next width bits as an MSB-first integer, or
+// (0, false) if fewer than width bits remain. It panics if width is
+// outside [0, 64].
+func (r *BitReader) ReadBits(width int) (uint64, bool) {
+	if width < 0 || width > 64 {
+		panic("vecmath: BitReader width out of range")
+	}
+	if r.pos+width > r.nBit {
+		return 0, false
+	}
+	var v uint64
+	for i := 0; i < width; i++ {
+		b, _ := r.ReadBit()
+		v = v<<1 | uint64(b)
+	}
+	return v, true
+}
+
+// Remaining returns the number of unread bits.
+func (r *BitReader) Remaining() int { return r.nBit - r.pos }

@@ -1,0 +1,166 @@
+package vecmath
+
+import (
+	"testing"
+	"testing/quick"
+
+	"trimgrad/internal/xrand"
+)
+
+func TestBitRoundTripSingleBits(t *testing.T) {
+	w := NewBitWriter(16)
+	pattern := []uint{1, 0, 1, 1, 0, 0, 1, 0, 1}
+	for _, b := range pattern {
+		w.WriteBit(b)
+	}
+	if w.Len() != len(pattern) {
+		t.Fatalf("Len = %d, want %d", w.Len(), len(pattern))
+	}
+	r := NewBitReader(w.Bytes(), w.Len())
+	for i, want := range pattern {
+		got, ok := r.ReadBit()
+		if !ok || got != want {
+			t.Fatalf("bit %d: got (%d,%v), want %d", i, got, ok, want)
+		}
+	}
+	if _, ok := r.ReadBit(); ok {
+		t.Fatal("read past end should fail")
+	}
+}
+
+func TestBitRoundTripFields(t *testing.T) {
+	w := NewBitWriter(0)
+	w.WriteBits(0x5, 3)
+	w.WriteBits(0xABCD, 16)
+	w.WriteBits(1, 1)
+	w.WriteBits(0xFFFFFFFFFFFFFFFF, 64)
+	r := NewBitReader(w.Bytes(), w.Len())
+	if v, ok := r.ReadBits(3); !ok || v != 0x5 {
+		t.Fatalf("field1 = %x, %v", v, ok)
+	}
+	if v, ok := r.ReadBits(16); !ok || v != 0xABCD {
+		t.Fatalf("field2 = %x, %v", v, ok)
+	}
+	if v, ok := r.ReadBits(1); !ok || v != 1 {
+		t.Fatalf("field3 = %x, %v", v, ok)
+	}
+	if v, ok := r.ReadBits(64); !ok || v != 0xFFFFFFFFFFFFFFFF {
+		t.Fatalf("field4 = %x, %v", v, ok)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("Remaining = %d, want 0", r.Remaining())
+	}
+}
+
+func TestBitPrefixSurvivesTruncation(t *testing.T) {
+	// The property the wire format depends on: trimming the byte stream
+	// preserves a readable bit prefix.
+	w := NewBitWriter(0)
+	for i := 0; i < 64; i++ {
+		w.WriteBit(uint(i) & 1)
+	}
+	trimmed := w.Bytes()[:3] // keep 24 bits
+	r := NewBitReader(trimmed, -1)
+	for i := 0; i < 24; i++ {
+		got, ok := r.ReadBit()
+		if !ok || got != uint(i)&1 {
+			t.Fatalf("bit %d after trim: got (%d,%v)", i, got, ok)
+		}
+	}
+	if _, ok := r.ReadBit(); ok {
+		t.Fatal("should be exhausted after 24 bits")
+	}
+}
+
+func TestBitWriterReset(t *testing.T) {
+	w := NewBitWriter(8)
+	w.WriteBits(0xFF, 8)
+	w.Reset()
+	if w.Len() != 0 || len(w.Bytes()) != 0 {
+		t.Fatal("Reset did not clear writer")
+	}
+	w.WriteBits(0x3, 2)
+	if w.Bytes()[0] != 0xC0 {
+		t.Fatalf("after reset wrote %x, want 0xC0", w.Bytes()[0])
+	}
+}
+
+func TestReadBitsPastEnd(t *testing.T) {
+	r := NewBitReader([]byte{0xFF}, 5)
+	if _, ok := r.ReadBits(6); ok {
+		t.Fatal("ReadBits past declared length should fail")
+	}
+	if v, ok := r.ReadBits(5); !ok || v != 0x1F {
+		t.Fatalf("ReadBits(5) = %x, %v", v, ok)
+	}
+}
+
+func TestWidthValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewBitWriter(0).WriteBits(0, 65) },
+		func() { NewBitWriter(0).WriteBits(0, -1) },
+		func() { NewBitReader(nil, 0).ReadBits(65) },
+		func() { NewBitReader(nil, 0).ReadBits(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for out-of-range width")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNegativeNBitsMeansWholeBuffer(t *testing.T) {
+	r := NewBitReader([]byte{0xAA, 0xBB}, -1)
+	if r.Remaining() != 16 {
+		t.Fatalf("Remaining = %d, want 16", r.Remaining())
+	}
+	// Also too-large nBits clamps.
+	r2 := NewBitReader([]byte{0xAA}, 100)
+	if r2.Remaining() != 8 {
+		t.Fatalf("Remaining = %d, want 8", r2.Remaining())
+	}
+}
+
+func TestQuickBitFieldRoundTrip(t *testing.T) {
+	r := xrand.New(9)
+	f := func(count uint8) bool {
+		n := int(count%32) + 1
+		widths := make([]int, n)
+		vals := make([]uint64, n)
+		w := NewBitWriter(0)
+		for i := 0; i < n; i++ {
+			widths[i] = r.Intn(64) + 1
+			vals[i] = r.Uint64() & ((1 << uint(widths[i])) - 1)
+			if widths[i] == 64 {
+				vals[i] = r.Uint64()
+			}
+			w.WriteBits(vals[i], widths[i])
+		}
+		rd := NewBitReader(w.Bytes(), w.Len())
+		for i := 0; i < n; i++ {
+			got, ok := rd.ReadBits(widths[i])
+			if !ok || got != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBitWriter1bitx32768(b *testing.B) {
+	w := NewBitWriter(1 << 15)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Reset()
+		for j := 0; j < 1<<15; j++ {
+			w.WriteBit(uint(j) & 1)
+		}
+	}
+}

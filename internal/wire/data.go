@@ -1,0 +1,196 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"trimgrad/internal/vecmath"
+)
+
+// DataPacket is a parsed trimmable data packet: count coordinates' heads,
+// and however many leading tails survived trimming.
+type DataPacket struct {
+	Header
+	// Heads holds one head value per carried coordinate (always complete:
+	// trimming never removes heads).
+	Heads []uint32
+	// Tails holds one tail value per carried coordinate; only the first
+	// TailCount entries are meaningful.
+	Tails []uint32
+	// TailCount is how many leading coordinates still have their tails.
+	// Equal to int(Count) for an untrimmed packet.
+	TailCount int
+}
+
+// BuildDataPacket serializes one data packet carrying heads[i] and tails[i]
+// (low h.P / h.Q bits respectively) for i in [0, h.Count). The Trimmed flag
+// is cleared; both CRCs are computed. The result length is h.FullSize().
+func BuildDataPacket(h Header, heads, tails []uint32) ([]byte, error) {
+	if int(h.Count) != len(heads) || int(h.Count) != len(tails) {
+		return nil, fmt.Errorf("wire: count %d != heads %d / tails %d",
+			h.Count, len(heads), len(tails))
+	}
+	if h.P == 0 || int(h.P)+int(h.Q) > 33 {
+		return nil, fmt.Errorf("wire: invalid P=%d Q=%d", h.P, h.Q)
+	}
+	if h.FullSize() > MaxPayload {
+		return nil, fmt.Errorf("wire: packet size %d exceeds MaxPayload %d",
+			h.FullSize(), MaxPayload)
+	}
+	h.Flags &^= FlagTrimmed | FlagMeta | FlagNaive
+
+	buf := make([]byte, HeaderSize, h.FullSize())
+	h.marshal(buf)
+
+	hw := vecmath.NewBitWriter(int(h.P) * int(h.Count))
+	for _, v := range heads {
+		hw.WriteBits(uint64(v), int(h.P))
+	}
+	buf = append(buf, hw.Bytes()...)
+	headEnd := len(buf)
+
+	tw := vecmath.NewBitWriter(int(h.Q) * int(h.Count))
+	for _, v := range tails {
+		tw.WriteBits(uint64(v), int(h.Q))
+	}
+	buf = append(buf, tw.Bytes()...)
+
+	binary.BigEndian.PutUint32(buf[offHeadCRC:], checksum(buf[HeaderSize:headEnd]))
+	binary.BigEndian.PutUint32(buf[offTailCRC:], checksum(buf[headEnd:]))
+	return buf, nil
+}
+
+// ParseDataPacket decodes a (possibly trimmed) data packet. The head region
+// must be complete and pass its CRC; tails are recovered for as many
+// leading coordinates as the surviving bytes allow. The tail CRC is only
+// verified when the full untrimmed tail region is present.
+func ParseDataPacket(buf []byte) (*DataPacket, error) {
+	h, err := ParseHeader(buf)
+	if err != nil {
+		return nil, err
+	}
+	if h.IsMeta() || h.IsNaive() {
+		return nil, ErrNotData
+	}
+	// Reject forged/corrupt geometry before any bit arithmetic: heads are
+	// 1..16 bits, tails 0..32 bits per coordinate.
+	if h.P < 1 || h.P > 16 || h.Q > 32 {
+		return nil, fmt.Errorf("wire: implausible P=%d Q=%d", h.P, h.Q)
+	}
+	hr := headRegion(buf, &h)
+	if hr == nil {
+		return nil, fmt.Errorf("%w: head region incomplete", ErrTooShort)
+	}
+	if checksum(hr) != binary.BigEndian.Uint32(buf[offHeadCRC:]) {
+		return nil, fmt.Errorf("%w (head region)", ErrBadChecksum)
+	}
+
+	p := &DataPacket{
+		Header: h,
+		Heads:  make([]uint32, h.Count),
+		Tails:  make([]uint32, h.Count),
+	}
+	br := vecmath.NewBitReader(hr, int(h.P)*int(h.Count))
+	for i := range p.Heads {
+		v, ok := br.ReadBits(int(h.P))
+		if !ok {
+			return nil, fmt.Errorf("%w: head bits exhausted", ErrTooShort)
+		}
+		p.Heads[i] = uint32(v)
+	}
+
+	tailStart := HeaderSize + h.HeadBytes()
+	tailBuf := buf[tailStart:min(len(buf), tailStart+h.TailBytes())]
+	if h.Q > 0 {
+		p.TailCount = len(tailBuf) * 8 / int(h.Q)
+		if p.TailCount > int(h.Count) {
+			p.TailCount = int(h.Count)
+		}
+	} else {
+		// With no tail bits there is nothing to trim away: every
+		// coordinate is complete as soon as its head arrives.
+		p.TailCount = int(h.Count)
+	}
+	if !h.Trimmed() && len(tailBuf) == h.TailBytes() {
+		if checksum(tailBuf) != binary.BigEndian.Uint32(buf[offTailCRC:]) {
+			return nil, fmt.Errorf("%w (tail region)", ErrBadChecksum)
+		}
+	}
+	tr := vecmath.NewBitReader(tailBuf, -1)
+	for i := 0; i < p.TailCount; i++ {
+		v, ok := tr.ReadBits(int(h.Q))
+		if !ok {
+			p.TailCount = i
+			break
+		}
+		p.Tails[i] = uint32(v)
+	}
+	return p, nil
+}
+
+// checksum computes CRC-32C over b.
+func checksum(b []byte) uint32 {
+	return crc32.Checksum(b, castagnoli)
+}
+
+// Trim performs the switch-side trim operation on a raw packet buffer,
+// returning the trimmed packet (a re-sliced view of buf with the Trimmed
+// flag set). Metadata packets are returned unchanged — the paper's design
+// keeps them reliable. Naive packets are cut to targetSize (but never below
+// the header). Data packets are cut to the head boundary, the smallest
+// self-contained size; if targetSize allows keeping some whole tails beyond
+// the boundary they are preserved (multi-level trimming, §5.1).
+//
+// Trim mutates the flags byte of buf in place, mirroring how a trimming
+// switch rewrites the packet, and clears the now-meaningless tail CRC.
+func Trim(buf []byte, targetSize int) []byte {
+	h, err := ParseHeader(buf)
+	if err != nil {
+		return buf // not ours; a real switch would just truncate
+	}
+	if h.IsMeta() {
+		return buf
+	}
+	if targetSize < HeaderSize {
+		targetSize = HeaderSize
+	}
+	if targetSize >= len(buf) {
+		return buf // nothing to cut
+	}
+
+	var keep int
+	if h.IsNaive() {
+		// Keep whole 4-byte floats only.
+		keep = HeaderSize + (targetSize-HeaderSize)/4*4
+	} else {
+		// Never cut below the head boundary; above it, keep whole tails.
+		boundary := HeaderSize + h.HeadBytes()
+		if targetSize <= boundary {
+			keep = boundary
+		} else if h.Q == 0 {
+			keep = boundary
+		} else {
+			extraBits := (targetSize - boundary) * 8
+			wholeTails := extraBits / int(h.Q)
+			keep = boundary + (wholeTails*int(h.Q)+7)/8
+			if keep > len(buf) {
+				keep = len(buf)
+			}
+		}
+	}
+	if keep >= len(buf) {
+		return buf
+	}
+	out := buf[:keep]
+	out[offFlags] |= FlagTrimmed
+	binary.BigEndian.PutUint32(out[offTailCRC:], 0)
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,82 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// NaivePacket is the Figure-2(a) baseline layout: whole 32-bit floats
+// packed one after another. Trimming such a packet keeps the first k whole
+// floats and discards the rest entirely — no compressed form survives.
+// Senders may order the floats by decreasing magnitude (the MLT-inspired
+// layout of §2) so that trimming discards the least important coordinates;
+// the Indices field then records which row coordinate each float belongs
+// to.
+type NaivePacket struct {
+	Header
+	// Values holds the surviving floats (ValueCount of them).
+	Values []float32
+	// ValueCount is how many whole floats survived; Count is how many were
+	// sent.
+	ValueCount int
+}
+
+// BuildNaivePacket serializes count whole floats following the header.
+// When the packet is magnitude-sorted, the caller encodes coordinate order
+// via h.Start and its own index side-channel; the wire layer treats values
+// opaquely.
+func BuildNaivePacket(h Header, values []float32) ([]byte, error) {
+	if len(values) > 65535 {
+		return nil, fmt.Errorf("wire: too many floats %d", len(values))
+	}
+	h.Flags = (h.Flags &^ (FlagTrimmed | FlagMeta)) | FlagNaive
+	h.Count = uint16(len(values))
+	h.P = 32
+	h.Q = 0
+	size := HeaderSize + 4*len(values)
+	if size > MaxPayload {
+		return nil, fmt.Errorf("wire: naive packet size %d exceeds MaxPayload %d",
+			size, MaxPayload)
+	}
+	buf := make([]byte, size)
+	h.marshal(buf)
+	for i, v := range values {
+		binary.BigEndian.PutUint32(buf[HeaderSize+4*i:], math.Float32bits(v))
+	}
+	binary.BigEndian.PutUint32(buf[offHeadCRC:], checksum(buf[HeaderSize:]))
+	binary.BigEndian.PutUint32(buf[offTailCRC:], 0)
+	return buf, nil
+}
+
+// ParseNaivePacket decodes a (possibly trimmed) naive packet, recovering
+// however many whole floats survived. The CRC is only verified when the
+// packet is untrimmed and complete.
+func ParseNaivePacket(buf []byte) (*NaivePacket, error) {
+	h, err := ParseHeader(buf)
+	if err != nil {
+		return nil, err
+	}
+	if !h.IsNaive() {
+		return nil, ErrNotNaive
+	}
+	n := (len(buf) - HeaderSize) / 4
+	if n > int(h.Count) {
+		n = int(h.Count)
+	}
+	if !h.Trimmed() && n == int(h.Count) {
+		full := buf[HeaderSize : HeaderSize+4*int(h.Count)]
+		if checksum(full) != binary.BigEndian.Uint32(buf[offHeadCRC:]) {
+			return nil, fmt.Errorf("%w (naive payload)", ErrBadChecksum)
+		}
+	}
+	p := &NaivePacket{Header: h, Values: make([]float32, n), ValueCount: n}
+	for i := 0; i < n; i++ {
+		p.Values[i] = math.Float32frombits(
+			binary.BigEndian.Uint32(buf[HeaderSize+4*i:]))
+	}
+	return p, nil
+}
+
+// NaiveFloatsPerPacket is how many whole floats fit in one MTU frame.
+func NaiveFloatsPerPacket() int { return (MaxPayload - HeaderSize) / 4 }
