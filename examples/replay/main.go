@@ -68,6 +68,7 @@ func main() {
 	// Verify bit-identical weights.
 	w1, w2 := t1.Model().Params(), t2.Model().Params()
 	for i := range w1 {
+		//trimlint:allow float-equality bit-identical weights are the whole point of replay verification
 		if w1[i] != w2[i] {
 			log.Fatalf("weights differ at %d: %v vs %v", i, w1[i], w2[i])
 		}

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockedValueCopyAnalyzer flags functions that pass or return by value any
+// struct containing a sync.Mutex, RWMutex, WaitGroup, Once, or Cond.
+// Copying a held lock forks its state: the copy is forever unlocked (or
+// forever waited-on), which in the parallel encoder shows up as a
+// once-in-a-thousand-runs race rather than a failure. go vet's copylocks
+// catches assignments; this checker closes the signature-level hole for
+// the types trimgrad actually shares across goroutines.
+var LockedValueCopyAnalyzer = &Analyzer{
+	Name: "locked-value-copy",
+	Doc:  "flag functions passing/returning by value structs that contain sync locks",
+	Run:  runLockedValueCopy,
+}
+
+// lockTypes are the sync types whose zero-value identity must not be
+// duplicated by copying.
+var lockTypes = map[string]bool{
+	"Mutex":     true,
+	"RWMutex":   true,
+	"WaitGroup": true,
+	"Once":      true,
+	"Cond":      true,
+}
+
+func runLockedValueCopy(p *Pass) {
+	checkFieldList := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			// Variadic params arrive as slices; slices share, not copy.
+			if _, ok := field.Type.(*ast.Ellipsis); ok {
+				continue
+			}
+			t := p.Pkg.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if lock := lockIn(t, nil); lock != "" {
+				p.Report(field, "%s %s by value copies %s (inside %s); pass a pointer", what, t.String(), lock, t.String())
+			}
+		}
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkFieldList(n.Recv, "receiver")
+				checkFieldList(n.Type.Params, "parameter")
+				checkFieldList(n.Type.Results, "result")
+			case *ast.FuncLit:
+				checkFieldList(n.Type.Params, "parameter")
+				checkFieldList(n.Type.Results, "result")
+			}
+			return true
+		})
+	}
+}
+
+// lockIn returns the name of a sync lock type reachable by value inside t
+// ("" if none). It recurses through named types, struct fields, and
+// arrays; pointers, slices, maps, channels, and interfaces share rather
+// than copy, so recursion stops there.
+func lockIn(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	switch t := t.(type) {
+	case *types.Named:
+		if obj := t.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "sync" && lockTypes[obj.Name()] {
+			return "sync." + obj.Name()
+		}
+		return lockIn(t.Underlying(), seen)
+	case *types.Alias:
+		return lockIn(types.Unalias(t), seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if lock := lockIn(t.Field(i).Type(), seen); lock != "" {
+				return lock
+			}
+		}
+	case *types.Array:
+		return lockIn(t.Elem(), seen)
+	}
+	return ""
+}

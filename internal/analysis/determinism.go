@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// DeterminismAnalyzer enforces the shared-randomness and replayability
+// contract. Packages on both sides of the wire (and the simulator under
+// them) must be bit-deterministic: encoder and decoder derive identical
+// randomness from (epoch, msgID, row) via internal/xrand, and a simulated
+// run must replay exactly. Three leaks are forbidden inside the
+// deterministic packages:
+//
+//   - wall-clock calls (time.Now, time.Since, ...): real time differs
+//     between sender and receiver and between runs;
+//   - math/rand (v1 or v2): its streams are not keyed to the protocol
+//     state and its global generator is seeded per-process;
+//   - ranging over a map: Go randomizes map iteration order, so any
+//     output assembled in map order differs run to run.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock time, math/rand, and map-iteration order in the deterministic packages",
+	Run:  runDeterminism,
+}
+
+// deterministicPkgs names the packages whose outputs must be bit-exact
+// across machines and runs: everything an encoded row, a wire packet, or a
+// simulator event schedule flows through.
+var deterministicPkgs = map[string]bool{
+	"core":       true,
+	"quant":      true,
+	"fwht":       true,
+	"xrand":      true,
+	"netsim":     true,
+	"wire":       true,
+	"collective": true,
+	"transport":  true,
+	"sparse":     true,
+	"lowrank":    true,
+	// exp is the evaluation harness: its tables must reproduce run to run
+	// (seeded workloads), so it is held to the same standard; its few
+	// wall-clock perf measurements carry explicit allow directives.
+	"exp": true,
+}
+
+// bannedTimeFuncs are the time-package functions that read or wait on the
+// wall clock. Pure conversions (time.Duration arithmetic) stay legal.
+var bannedTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+func runDeterminism(p *Pass) {
+	if !deterministicPkgs[p.Pkg.Name] {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				p.Report(imp, "deterministic package %s imports %s; use trimgrad/internal/xrand keyed by (epoch, msgID, row) so both ends derive identical streams", p.Pkg.Name, path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj := p.Pkg.Info.Uses[sel.Sel]
+				if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+					return true
+				}
+				if bannedTimeFuncs[obj.Name()] {
+					p.Report(n, "deterministic package %s calls time.%s; wall-clock time leaks nondeterminism into encoded output — use the netsim virtual clock", p.Pkg.Name, obj.Name())
+				}
+			case *ast.RangeStmt:
+				if n.X == nil {
+					return true
+				}
+				t := p.Pkg.TypeOf(n.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					p.Report(n, "deterministic package %s ranges over a map (%s); iteration order is randomized — iterate sorted keys instead", p.Pkg.Name, t.String())
+				}
+			}
+			return true
+		})
+	}
+}

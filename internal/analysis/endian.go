@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// WireEndiannessAnalyzer forbids mixing binary.BigEndian and
+// binary.LittleEndian inside one package. The trimgrad wire format is
+// big-endian end to end; a single little-endian field silently decodes to
+// garbage on the other side of the wire (lengths, scales) without any
+// parse error. A package committed entirely to one byte order is fine —
+// mixing is the bug.
+var WireEndiannessAnalyzer = &Analyzer{
+	Name: "wire-endianness",
+	Doc:  "flag packages that mix binary.BigEndian and binary.LittleEndian",
+	Run:  runWireEndianness,
+}
+
+func runWireEndianness(p *Pass) {
+	var big, little []ast.Node
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := p.Pkg.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "encoding/binary" {
+				return true
+			}
+			switch obj.Name() {
+			case "BigEndian":
+				big = append(big, sel)
+			case "LittleEndian":
+				little = append(little, sel)
+			}
+			return true
+		})
+	}
+	if len(big) == 0 || len(little) == 0 {
+		return
+	}
+	// Report the minority order at each use site; on a tie, little-endian
+	// is the intruder (the repo's wire format is big-endian).
+	minority, name := little, "binary.LittleEndian"
+	if len(big) < len(little) {
+		minority, name = big, "binary.BigEndian"
+	}
+	for _, n := range minority {
+		p.Report(n, "package %s mixes byte orders: %s here but %d use(s) of the other order; pick one (trimgrad wire format is big-endian)", p.Pkg.Name, name, len(big)+len(little)-len(minority))
+	}
+}

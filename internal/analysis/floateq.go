@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEqualityAnalyzer flags exact ==/!= between floating-point values.
+// Quantize/dequantize round-trips, FWHT rotations, and error-feedback
+// accumulation all introduce rounding, so exact comparison of computed
+// floats is almost always a latent bug; tolerance helpers (vecmath.NMSE
+// and friends) or an explicit annotation are the sanctioned forms.
+// Comparisons against compile-time constants (x == 0 sentinel checks) are
+// allowed: they test an exact bit pattern on purpose.
+var FloatEqualityAnalyzer = &Analyzer{
+	Name: "float-equality",
+	Doc:  "flag exact ==/!= between computed floating-point values",
+	Run:  runFloatEquality,
+}
+
+func runFloatEquality(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			tvX, okX := p.Pkg.Info.Types[be.X]
+			tvY, okY := p.Pkg.Info.Types[be.Y]
+			if !okX || !okY {
+				return true
+			}
+			// A constant operand means a deliberate sentinel comparison.
+			if tvX.Value != nil || tvY.Value != nil {
+				return true
+			}
+			if isFloat(tvX.Type) || isFloat(tvY.Type) {
+				p.Report(be, "exact floating-point %s comparison; quantization round-trips make this fragile — compare with a tolerance or annotate //trimlint:allow float-equality", be.Op)
+			}
+			return true
+		})
+	}
+}
+
+// isFloat reports whether t's underlying type is float32/float64.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

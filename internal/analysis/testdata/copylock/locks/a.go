@@ -1,0 +1,42 @@
+// Package locks is a locked-value-copy fixture: signatures that pass or
+// return lock-bearing structs by value must be reported, including locks
+// reached through embedding; pointers and lock-free structs must not.
+package locks
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type wrapper struct {
+	inner guarded
+}
+
+func byValue(g guarded) int { // want "copies sync.Mutex"
+	return g.n
+}
+
+func returnsByValue() wrapper { // want "copies sync.Mutex"
+	return wrapper{}
+}
+
+func (g guarded) method() int { // want "copies sync.Mutex"
+	return g.n
+}
+
+func waitsByValue(wg sync.WaitGroup) { // want "copies sync.WaitGroup"
+	wg.Wait()
+}
+
+func byPointer(g *guarded) int {
+	return g.n
+}
+
+type plain struct{ n int }
+
+func plainByValue(p plain) int { return p.n }
+
+//trimlint:allow locked-value-copy fixture: snapshot of a quiesced struct
+func snapshot(g guarded) int { return g.n }

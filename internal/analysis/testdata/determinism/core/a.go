@@ -1,0 +1,41 @@
+// Package core is a determinism-checker fixture: its name places it in
+// the deterministic set, so the banned constructs below must be reported.
+package core
+
+import (
+	"math/rand" // want "deterministic package core imports math/rand"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().Unix() // want "calls time.Now"
+}
+
+func elapsed(since time.Time) time.Duration {
+	return time.Since(since) // want "calls time.Since"
+}
+
+func jitter() float64 {
+	return rand.Float64()
+}
+
+func emit(m map[int]string) []string {
+	var out []string
+	for _, v := range m { // want "ranges over a map"
+		out = append(out, v)
+	}
+	return out
+}
+
+func allowedSleep() {
+	//trimlint:allow determinism fixture: annotated exceptions are honored
+	time.Sleep(0)
+}
+
+func sliceRange(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

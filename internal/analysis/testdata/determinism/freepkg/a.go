@@ -1,0 +1,17 @@
+// Package freepkg is outside the deterministic set: the very same
+// constructs that are findings in package core are legal here.
+package freepkg
+
+import "time"
+
+func stamp() int64 {
+	return time.Now().Unix()
+}
+
+func emit(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,18 @@
+// Package dir exercises directive validation: the bare and unknown-check
+// directives below are themselves findings (checked without want comments
+// by TestDirectiveValidation, since a directive occupies the whole
+// comment and cannot share its line with a want).
+package dir
+
+import "sync"
+
+var mu sync.Mutex
+
+//trimlint:allow determinism
+func bare() { mu.Lock(); mu.Unlock() }
+
+//trimlint:allow no-such-check this check name does not exist
+func unknown() {}
+
+//trimlint:allow determinism,float-equality fixture: multi-check directives parse
+func multi() {}

@@ -1,0 +1,13 @@
+// Package mixed is a wire-endianness fixture: it uses both byte orders,
+// so every minority-order use must be reported (big-endian wins the tie —
+// it is the trimgrad wire convention).
+package mixed
+
+import "encoding/binary"
+
+func put(b []byte, v uint32, w uint16) uint16 {
+	binary.BigEndian.PutUint32(b, v)
+	binary.BigEndian.PutUint16(b[4:], w)
+	binary.LittleEndian.PutUint16(b[6:], w) // want "mixes byte orders"
+	return binary.LittleEndian.Uint16(b)    // want "mixes byte orders"
+}

@@ -1,0 +1,10 @@
+// Package pure is a wire-endianness negative fixture: a package committed
+// to a single byte order — even little-endian — is consistent, not mixed.
+package pure
+
+import "encoding/binary"
+
+func put(b []byte, v uint32, w uint16) {
+	binary.LittleEndian.PutUint32(b, v)
+	binary.LittleEndian.PutUint16(b[4:], w)
+}

@@ -1,0 +1,23 @@
+// Package feq is a float-equality fixture: exact comparison of computed
+// floats must be reported; constant sentinels and annotated NaN checks
+// must not.
+package feq
+
+func positives(a, b float64, f, g float32) bool {
+	if a == b { // want "exact floating-point == comparison"
+		return true
+	}
+	return f != g // want "exact floating-point != comparison"
+}
+
+func negatives(a float64, n, m int) bool {
+	if a == 0 {
+		return true
+	}
+	if n == m {
+		return false
+	}
+	x := a * 2
+	//trimlint:allow float-equality fixture: NaN self-check is exact on purpose
+	return x != x
+}

@@ -1,0 +1,29 @@
+// Package fix is a swallowed-error fixture: discarded errors from the
+// watched codec/transport call names must be reported.
+package fix
+
+import "errors"
+
+type codec struct{}
+
+func (codec) Handle(p []byte) error              { return errors.New("reject") }
+func (codec) Encode(v []float32) ([]byte, error) { return nil, nil }
+func (codec) Name() string                       { return "codec" }
+
+func positives(c codec, p []byte) {
+	_ = c.Handle(p)      // want "error from Handle is discarded"
+	_, _ = c.Encode(nil) // want "error from Encode is discarded"
+	c.Handle(p)          // want "error from Handle is silently dropped"
+}
+
+func negatives(c codec, p []byte) error {
+	if err := c.Handle(p); err != nil {
+		return err
+	}
+	_ = c.Name()
+	out, err := c.Encode(nil)
+	_ = out
+	//trimlint:allow swallowed-error fixture: annotated discard is accepted
+	_ = c.Handle(p)
+	return err
+}

@@ -87,21 +87,29 @@ func (w *Worker) Encoder() *core.Encoder { return w.enc }
 func (w *Worker) handlePayload(src netsim.NodeID, payload []byte) {
 	h, err := wire.ParseHeader(payload)
 	if err != nil {
-		return // not a trimgrad payload (should not happen)
+		// Not a trimgrad payload (mangled header or cross traffic). Count
+		// it so congestion experiments can distinguish "trimmed" (expected)
+		// from "corrupt" (a bug) instead of silently dropping it.
+		w.AggStats.RejectedPackets++
+		return
 	}
 	key := decKey{src, h.Message}
 	dec := w.decs[key]
 	if dec == nil {
 		d, err := core.NewDecoder(w.cfg, h.Message)
 		if err != nil {
+			w.AggStats.RejectedPackets++
 			return
 		}
 		dec = d
 		w.decs[key] = dec
 	}
-	// Ignore per-packet errors: corrupt/foreign packets simply don't
-	// contribute, mirroring a real receiver.
-	_ = dec.Handle(payload)
+	if err := dec.Handle(payload); err != nil {
+		// Rejected packets don't contribute, mirroring a real receiver,
+		// but the decoder recorded the rejection in its stats; reconstruct
+		// folds that into AggStats.
+		return
+	}
 }
 
 // reconstruct decodes a completed message from src and drops its state.
@@ -122,6 +130,7 @@ func (w *Worker) reconstruct(src netsim.NodeID, msg uint32, n int) ([]float32, e
 	w.AggStats.TotalCoords += stats.TotalCoords
 	w.AggStats.DroppedCoords += stats.DroppedCoords
 	w.AggStats.BytesReceived += stats.BytesReceived
+	w.AggStats.RejectedPackets += stats.RejectedPackets
 	delete(w.decs, key)
 	return out, nil
 }

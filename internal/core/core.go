@@ -143,6 +143,12 @@ type Stats struct {
 	DroppedCoords int
 	// BytesReceived counts data-packet bytes that arrived.
 	BytesReceived int
+	// RejectedPackets counts packets Handle refused: corrupt or foreign
+	// headers, wrong message, or data arriving before its row metadata.
+	// Distinguishing "trimmed" (expected under congestion) from
+	// "rejected" (a bug or hostile traffic) is what lets congestion
+	// experiments trust their error numbers.
+	RejectedPackets int
 }
 
 // DroppedPackets returns how many data packets never arrived.
@@ -183,8 +189,17 @@ func NewDecoder(cfg Config, msgID uint32) (*Decoder, error) {
 }
 
 // Handle ingests one arrived packet (metadata or data, in any order).
-// Packets belonging to other messages are rejected.
+// Packets belonging to other messages are rejected; every rejection is
+// counted in Stats.RejectedPackets so silent corruption stays visible.
 func (d *Decoder) Handle(pkt []byte) error {
+	if err := d.handle(pkt); err != nil {
+		d.stats.RejectedPackets++
+		return err
+	}
+	return nil
+}
+
+func (d *Decoder) handle(pkt []byte) error {
 	h, err := wire.ParseHeader(pkt)
 	if err != nil {
 		return err

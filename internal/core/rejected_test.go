@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"trimgrad/internal/quant"
+)
+
+// TestHandleCountsRejections verifies the decoder records every refused
+// packet in Stats.RejectedPackets: wrong-message packets, garbage bytes,
+// and data arriving before its row metadata all count, while accepted
+// packets don't.
+func TestHandleCountsRejections(t *testing.T) {
+	cfg := testConfig(quant.RHT, 0)
+	enc, err := NewEncoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grad := gaussianGrad(21, 1<<11)
+	msg, err := enc.Encode(1, 7, grad)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dec, err := NewDecoder(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Data before metadata: rejected.
+	if err := dec.Handle(msg.Data[0]); err == nil {
+		t.Fatal("data before metadata should be rejected")
+	}
+	// Garbage bytes: rejected.
+	if err := dec.Handle([]byte{0xde, 0xad}); err == nil {
+		t.Fatal("garbage should be rejected")
+	}
+	if got := dec.Stats().RejectedPackets; got != 2 {
+		t.Fatalf("RejectedPackets = %d after 2 rejects, want 2", got)
+	}
+
+	// A wrong-message packet (encoded as msg 8) is rejected too.
+	other, err := enc.Encode(1, 8, grad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.Handle(other.Meta[0]); err == nil {
+		t.Fatal("wrong-message packet should be rejected")
+	}
+
+	// Now the legitimate stream: zero additional rejections.
+	for _, m := range msg.Meta {
+		if err := dec.Handle(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, d := range msg.Data {
+		if err := dec.Handle(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, stats, err := dec.Reconstruct(msg.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RejectedPackets != 3 {
+		t.Fatalf("RejectedPackets = %d, want 3", stats.RejectedPackets)
+	}
+	if stats.Packets != len(msg.Data) {
+		t.Fatalf("accepted data packets = %d, want %d", stats.Packets, len(msg.Data))
+	}
+}

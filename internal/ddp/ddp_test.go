@@ -92,6 +92,12 @@ func TestModerateTrimStillLearns(t *testing.T) {
 // paper's VGG-19 result; see EXPERIMENTS.md for the analysis of that
 // discrepancy.)
 func TestRHTMostRobustAtHeavyTrim(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("heavy convergence calibration; quick ddp tests cover these code paths under -race")
+	}
+	if testing.Short() {
+		t.Skip("heavy convergence calibration")
+	}
 	train, test := ml.Synthetic(ml.SyntheticConfig{
 		Classes: 100, Dim: 64, Train: 8000, Test: 1000,
 		Noise: 12.8, Spread: 8.0, Seed: 42,

@@ -13,6 +13,12 @@ import (
 // compressor to be contractive, and SQ's fully-trimmed ±2.5σ decode has
 // NMSE ≈ 5, so feeding its residual back compounds the error.
 func TestErrorFeedbackAtHeavyTrim(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("heavy convergence calibration; quick ddp tests cover these code paths under -race")
+	}
+	if testing.Short() {
+		t.Skip("heavy convergence calibration")
+	}
 	train, test := ml.Synthetic(ml.SyntheticConfig{
 		Classes: 100, Dim: 64, Train: 8000, Test: 1000,
 		Noise: 12.8, Spread: 8.0, Seed: 42,

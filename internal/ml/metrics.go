@@ -26,6 +26,7 @@ func inTopK(row []float32, label, k int) bool {
 	// index wins), matching a stable argsort.
 	greater := 0
 	for i, v := range row {
+		//trimlint:allow float-equality exact tie detection matches a stable argsort by design
 		if v > target || (v == target && i < label) {
 			greater++
 		}

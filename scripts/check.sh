@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# check.sh — trimgrad's tier-1 verification gate.
+#
+# Usage:
+#   scripts/check.sh          full gate (includes the race-detector pass)
+#   scripts/check.sh -short   fast mode: skips the race-detector pass and
+#                             runs the test suite with -short
+#
+# Every step must pass; the script stops at the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+short=0
+if [[ "${1:-}" == "-short" ]]; then
+  short=1
+fi
+
+step() { echo "== $*"; }
+
+step "gofmt"
+unformatted=$(gofmt -l .)
+if [[ -n "$unformatted" ]]; then
+  echo "gofmt needed:" >&2
+  echo "$unformatted" >&2
+  exit 1
+fi
+
+step "go vet ./..."
+go vet ./...
+
+step "trimlint ./..."
+go run ./cmd/trimlint ./...
+
+step "go build ./..."
+go build ./...
+
+if [[ $short -eq 1 ]]; then
+  step "go test -short ./..."
+  go test -short ./...
+  echo "OK (short mode: race-detector pass skipped)"
+  exit 0
+fi
+
+step "go test ./..."
+go test ./...
+
+step "go test -race (concurrency-heavy packages)"
+go test -race ./internal/core ./internal/transport ./internal/collective ./internal/ddp
+
+echo "OK"
