@@ -9,6 +9,7 @@
 package collective
 
 import (
+	"errors"
 	"fmt"
 
 	"trimgrad/internal/core"
@@ -16,6 +17,11 @@ import (
 	"trimgrad/internal/transport"
 	"trimgrad/internal/wire"
 )
+
+// ErrDeadlineExceeded reports a collective operation that did not finish
+// within the worker's Deadline — the graceful-degradation alternative to
+// hanging forever on a dead or partitioned peer.
+var ErrDeadlineExceeded = errors.New("collective: deadline exceeded")
 
 // Mode selects the transport protocol for a collective.
 type Mode int
@@ -40,6 +46,12 @@ type Worker struct {
 	Rank  int
 	Stack *transport.Stack
 	Mode  Mode
+
+	// Deadline bounds each collective operation this worker joins,
+	// measured from the moment the operation starts. If the worker has
+	// not completed by then, its onError fires with ErrDeadlineExceeded
+	// instead of the round hanging. Zero disables the bound.
+	Deadline netsim.Time
 
 	cfg  core.Config
 	enc  *core.Encoder
@@ -123,22 +135,30 @@ func (w *Worker) reconstruct(src netsim.NodeID, msg uint32, n int) ([]float32, e
 	if err != nil {
 		return nil, err
 	}
-	w.AggStats.Packets += stats.Packets
-	w.AggStats.TrimmedPackets += stats.TrimmedPackets
-	w.AggStats.ExpectedPackets += stats.ExpectedPackets
-	w.AggStats.TrimmedCoords += stats.TrimmedCoords
-	w.AggStats.TotalCoords += stats.TotalCoords
-	w.AggStats.DroppedCoords += stats.DroppedCoords
-	w.AggStats.BytesReceived += stats.BytesReceived
-	w.AggStats.RejectedPackets += stats.RejectedPackets
+	w.AggStats.Accumulate(stats)
 	delete(w.decs, key)
 	return out, nil
 }
 
+// armDeadline schedules the worker's per-operation deadline check: if
+// completed() is still false when Deadline elapses, fail receives
+// ErrDeadlineExceeded. A zero Deadline arms nothing.
+func (w *Worker) armDeadline(completed func() bool, fail func(err error)) {
+	if w.Deadline <= 0 {
+		return
+	}
+	w.Stack.Host().Sim().After(w.Deadline, func() {
+		if !completed() {
+			fail(fmt.Errorf("%w: rank %d after %v", ErrDeadlineExceeded, w.Rank, w.Deadline))
+		}
+	})
+}
+
 // send encodes grad as message msg and ships it to dst using the worker's
-// mode. done fires when the transport confirms delivery.
+// mode. done fires when the transport confirms delivery; failed receives
+// the transport's error.
 func (w *Worker) send(dst netsim.NodeID, epoch uint64, msg uint32, grad []float32,
-	done func(at netsim.Time), failed func()) error {
+	done func(at netsim.Time), failed func(err error)) error {
 	m, err := w.enc.Encode(epoch, msg, grad)
 	if err != nil {
 		return err

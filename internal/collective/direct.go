@@ -39,15 +39,25 @@ func AllReduceDirect(epoch uint64, baseMsg uint32, workers []*Worker,
 		// own gradient.
 		sum := append([]float32(nil), grads[i]...)
 		received := 0
+		failed := false
+		fail := func(err error) {
+			// One error per rank per operation: the first failure decides
+			// the round, and a late completion must not follow an error.
+			if failed || received == n-1 {
+				return
+			}
+			failed = true
+			if onError != nil {
+				onError(i, err)
+			}
+		}
 		w.onComplete = func(src netsim.NodeID, msg uint32, at netsim.Time) {
-			if msg < baseMsg || msg >= baseMsg+uint32(n) {
+			if failed || msg < baseMsg || msg >= baseMsg+uint32(n) {
 				return
 			}
 			dec, err := w.reconstruct(src, msg, dim)
 			if err != nil {
-				if onError != nil {
-					onError(i, err)
-				}
+				fail(err)
 				return
 			}
 			vecmath.Add(sum, dec)
@@ -59,16 +69,15 @@ func AllReduceDirect(epoch uint64, baseMsg uint32, workers []*Worker,
 				}
 			}
 		}
+		w.armDeadline(func() bool { return received == n-1 }, fail)
 		// Send our gradient to every peer.
 		msg := baseMsg + uint32(i)
 		for j, dst := range ids {
 			if j == i {
 				continue
 			}
-			err := w.send(dst, epoch, msg, grads[i], nil, func() {
-				if onError != nil {
-					onError(i, fmt.Errorf("collective: send %d→%d failed", i, dst))
-				}
+			err := w.send(dst, epoch, msg, grads[i], nil, func(err error) {
+				fail(fmt.Errorf("collective: send %d→%d: %w", i, dst, err))
 			})
 			if err != nil {
 				return err
@@ -105,8 +114,18 @@ func AllGather(epoch uint64, baseMsg uint32, workers []*Worker,
 		gathered := make([][]float32, n)
 		gathered[i] = append([]float32(nil), shards[i]...)
 		received := 0
+		failed := false
+		fail := func(err error) {
+			if failed || received == n-1 {
+				return
+			}
+			failed = true
+			if onError != nil {
+				onError(i, err)
+			}
+		}
 		w.onComplete = func(src netsim.NodeID, msg uint32, at netsim.Time) {
-			if msg < baseMsg || msg >= baseMsg+uint32(n) {
+			if failed || msg < baseMsg || msg >= baseMsg+uint32(n) {
 				return
 			}
 			srcRank, ok := rankOf[src]
@@ -115,9 +134,7 @@ func AllGather(epoch uint64, baseMsg uint32, workers []*Worker,
 			}
 			dec, err := w.reconstruct(src, msg, len(shards[srcRank]))
 			if err != nil {
-				if onError != nil {
-					onError(i, err)
-				}
+				fail(err)
 				return
 			}
 			gathered[srcRank] = dec
@@ -128,15 +145,14 @@ func AllGather(epoch uint64, baseMsg uint32, workers []*Worker,
 				}
 			}
 		}
+		w.armDeadline(func() bool { return received == n-1 }, fail)
 		msg := baseMsg + uint32(i)
 		for j, dst := range ids {
 			if j == i {
 				continue
 			}
-			if err := w.send(dst, epoch, msg, shards[i], nil, func() {
-				if onError != nil {
-					onError(i, fmt.Errorf("collective: send %d→%d failed", i, dst))
-				}
+			if err := w.send(dst, epoch, msg, shards[i], nil, func(err error) {
+				fail(fmt.Errorf("collective: send %d→%d: %w", i, dst, err))
 			}); err != nil {
 				return err
 			}
@@ -166,30 +182,41 @@ func Broadcast(epoch uint64, msg uint32, workers []*Worker, root int,
 			continue
 		}
 		i, w := i, w
+		got := false
+		failed := false
+		fail := func(err error) {
+			if failed || got {
+				return
+			}
+			failed = true
+			if onError != nil {
+				onError(i, err)
+			}
+		}
 		w.onComplete = func(src netsim.NodeID, m uint32, at netsim.Time) {
-			if m != msg || src != rootID {
+			if failed || m != msg || src != rootID {
 				return
 			}
 			dec, err := w.reconstruct(src, m, len(tensor))
 			if err != nil {
-				if onError != nil {
-					onError(i, err)
-				}
+				fail(err)
 				return
 			}
+			got = true
 			if onDone != nil {
 				onDone(i, dec, at)
 			}
 		}
+		w.armDeadline(func() bool { return got }, fail)
 	}
 	for i, w := range workers {
 		if i == root {
 			continue
 		}
 		dst := w.Stack.Host().ID()
-		err := workers[root].send(dst, epoch, msg, tensor, nil, func() {
+		err := workers[root].send(dst, epoch, msg, tensor, nil, func(err error) {
 			if onError != nil {
-				onError(root, fmt.Errorf("collective: broadcast to %d failed", dst))
+				onError(root, fmt.Errorf("collective: broadcast to %d: %w", dst, err))
 			}
 		})
 		if err != nil {

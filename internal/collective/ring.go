@@ -61,12 +61,13 @@ func AllReduceRing(epoch uint64, baseMsg uint32, workers []*Worker,
 		rs.rightID = workers[(i+1)%n].Stack.Host().ID()
 		w := workers[i]
 		w.onComplete = func(src netsim.NodeID, msg uint32, at netsim.Time) {
-			if src != rs.leftID {
+			if rs.failed || src != rs.leftID {
 				return
 			}
 			rs.completed[msg] = at
 			rs.advance()
 		}
+		w.armDeadline(func() bool { return rs.done }, rs.fail)
 		if err := rs.sendStep(); err != nil {
 			return err
 		}
@@ -88,6 +89,7 @@ type ringState struct {
 	leftID, rightID netsim.NodeID
 	completed       map[uint32]netsim.Time
 	done            bool
+	failed          bool
 	onDone          func(rank int, avg []float32, at netsim.Time)
 	onError         func(rank int, err error)
 }
@@ -123,8 +125,9 @@ func (rs *ringState) sendStep() error {
 	}
 	c := rs.sendChunk(rs.step, rs.rank)
 	msg := rs.msgID(rs.step, rs.rank)
-	err := rs.w.send(rs.rightID, rs.epoch, msg, rs.chunk(c), nil, func() {
-		rs.fail(fmt.Errorf("collective: ring send step %d failed", rs.step))
+	step := rs.step
+	err := rs.w.send(rs.rightID, rs.epoch, msg, rs.chunk(c), nil, func(err error) {
+		rs.fail(fmt.Errorf("collective: ring send step %d: %w", step, err))
 	})
 	if err != nil {
 		rs.fail(err)
@@ -132,7 +135,13 @@ func (rs *ringState) sendStep() error {
 	return err
 }
 
+// fail reports the first error for this rank's operation; later errors
+// (and a deadline firing after completion) are suppressed.
 func (rs *ringState) fail(err error) {
+	if rs.done || rs.failed {
+		return
+	}
+	rs.failed = true
 	if rs.onError != nil {
 		rs.onError(rs.rank, err)
 	}
@@ -140,7 +149,7 @@ func (rs *ringState) fail(err error) {
 
 // advance processes every consecutively-completed incoming step.
 func (rs *ringState) advance() {
-	for !rs.done && rs.step < rs.totalSteps() {
+	for !rs.done && !rs.failed && rs.step < rs.totalSteps() {
 		msg := rs.msgID(rs.step, mod(rs.rank-1, rs.n))
 		at, ok := rs.completed[msg]
 		if !ok {

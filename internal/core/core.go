@@ -151,6 +151,19 @@ type Stats struct {
 	RejectedPackets int
 }
 
+// Accumulate folds o into s field by field. Collective workers use it to
+// aggregate per-message decoder statistics across an operation.
+func (s *Stats) Accumulate(o Stats) {
+	s.Packets += o.Packets
+	s.TrimmedPackets += o.TrimmedPackets
+	s.ExpectedPackets += o.ExpectedPackets
+	s.TrimmedCoords += o.TrimmedCoords
+	s.TotalCoords += o.TotalCoords
+	s.DroppedCoords += o.DroppedCoords
+	s.BytesReceived += o.BytesReceived
+	s.RejectedPackets += o.RejectedPackets
+}
+
 // DroppedPackets returns how many data packets never arrived.
 func (s Stats) DroppedPackets() int { return s.ExpectedPackets - s.Packets }
 
@@ -169,8 +182,17 @@ type Decoder struct {
 	codec quant.Codec
 	msgID uint32
 	rows  map[uint32]*wire.RowAssembler
-	stats Stats
+	// pending buffers data packets that arrive before their row's
+	// metadata (reordering on the wire); they replay once the meta lands.
+	pending map[uint32][][]byte
+	stats   Stats
 }
+
+// maxPendingPerRow bounds how many early data packets one row buffers
+// while its metadata is in flight. Past the bound, further early arrivals
+// are rejected — a sender cannot exhaust receiver memory by withholding
+// metadata.
+const maxPendingPerRow = 256
 
 // NewDecoder builds a decoder for message msgID under cfg. cfg must match
 // the sender's.
@@ -181,10 +203,11 @@ func NewDecoder(cfg Config, msgID uint32) (*Decoder, error) {
 		return nil, err
 	}
 	return &Decoder{
-		cfg:   cfg,
-		codec: codec,
-		msgID: msgID,
-		rows:  make(map[uint32]*wire.RowAssembler),
+		cfg:     cfg,
+		codec:   codec,
+		msgID:   msgID,
+		rows:    make(map[uint32]*wire.RowAssembler),
+		pending: make(map[uint32][][]byte),
 	}, nil
 }
 
@@ -217,15 +240,28 @@ func (d *Decoder) handle(pkt []byte) error {
 		if err != nil {
 			return err
 		}
-		return asm.AddMeta(m)
+		if err := asm.AddMeta(m); err != nil {
+			return err
+		}
+		d.replayPending(h.Row, asm)
+		return nil
 	}
 	dp, err := wire.ParseDataPacket(pkt)
 	if err != nil {
 		return err
 	}
 	if !asm.HaveMeta() {
-		return fmt.Errorf("core: data for row %d before its metadata", h.Row)
+		// Reordered arrival: buffer the packet until its metadata lands.
+		if len(d.pending[h.Row]) >= maxPendingPerRow {
+			return fmt.Errorf("core: row %d pending buffer full", h.Row)
+		}
+		d.pending[h.Row] = append(d.pending[h.Row], pkt)
+		return nil
 	}
+	return d.addData(asm, pkt, dp)
+}
+
+func (d *Decoder) addData(asm *wire.RowAssembler, pkt []byte, dp *wire.DataPacket) error {
 	if err := asm.AddData(dp); err != nil {
 		return err
 	}
@@ -235,6 +271,28 @@ func (d *Decoder) handle(pkt []byte) error {
 		d.stats.TrimmedPackets++
 	}
 	return nil
+}
+
+// replayPending feeds a row's buffered early data packets into its
+// assembler now that the metadata is present. Packets that fail
+// validation against the meta are counted rejected, exactly as if they
+// had arrived late.
+func (d *Decoder) replayPending(row uint32, asm *wire.RowAssembler) {
+	pkts := d.pending[row]
+	if len(pkts) == 0 {
+		return
+	}
+	delete(d.pending, row)
+	for _, pkt := range pkts {
+		dp, err := wire.ParseDataPacket(pkt)
+		if err != nil {
+			d.stats.RejectedPackets++
+			continue
+		}
+		if err := d.addData(asm, pkt, dp); err != nil {
+			d.stats.RejectedPackets++
+		}
+	}
 }
 
 // Reconstruct decodes the gradient from whatever packets arrived. n is the

@@ -4,12 +4,13 @@ import (
 	"testing"
 
 	"trimgrad/internal/quant"
+	"trimgrad/internal/vecmath"
 )
 
 // TestHandleCountsRejections verifies the decoder records every refused
-// packet in Stats.RejectedPackets: wrong-message packets, garbage bytes,
-// and data arriving before its row metadata all count, while accepted
-// packets don't.
+// packet in Stats.RejectedPackets — garbage bytes and wrong-message
+// packets count — while data arriving before its row metadata is buffered
+// and replayed, not rejected.
 func TestHandleCountsRejections(t *testing.T) {
 	cfg := testConfig(quant.RHT, 0)
 	enc, err := NewEncoder(cfg)
@@ -26,16 +27,16 @@ func TestHandleCountsRejections(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Data before metadata: rejected.
-	if err := dec.Handle(msg.Data[0]); err == nil {
-		t.Fatal("data before metadata should be rejected")
+	// Data before metadata: buffered for replay once the meta lands.
+	if err := dec.Handle(msg.Data[0]); err != nil {
+		t.Fatalf("early data should be buffered, got %v", err)
 	}
 	// Garbage bytes: rejected.
 	if err := dec.Handle([]byte{0xde, 0xad}); err == nil {
 		t.Fatal("garbage should be rejected")
 	}
-	if got := dec.Stats().RejectedPackets; got != 2 {
-		t.Fatalf("RejectedPackets = %d after 2 rejects, want 2", got)
+	if got := dec.Stats().RejectedPackets; got != 1 {
+		t.Fatalf("RejectedPackets = %d after 1 reject, want 1", got)
 	}
 
 	// A wrong-message packet (encoded as msg 8) is rejected too.
@@ -47,13 +48,14 @@ func TestHandleCountsRejections(t *testing.T) {
 		t.Fatal("wrong-message packet should be rejected")
 	}
 
-	// Now the legitimate stream: zero additional rejections.
+	// The rest of the legitimate stream: the metas replay the buffered
+	// early packet, so every data packet is accepted exactly once.
 	for _, m := range msg.Meta {
 		if err := dec.Handle(m); err != nil {
 			t.Fatal(err)
 		}
 	}
-	for _, d := range msg.Data {
+	for _, d := range msg.Data[1:] {
 		if err := dec.Handle(d); err != nil {
 			t.Fatal(err)
 		}
@@ -62,10 +64,54 @@ func TestHandleCountsRejections(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stats.RejectedPackets != 3 {
-		t.Fatalf("RejectedPackets = %d, want 3", stats.RejectedPackets)
+	if stats.RejectedPackets != 2 {
+		t.Fatalf("RejectedPackets = %d, want 2", stats.RejectedPackets)
 	}
 	if stats.Packets != len(msg.Data) {
 		t.Fatalf("accepted data packets = %d, want %d", stats.Packets, len(msg.Data))
+	}
+}
+
+// TestDecoderReordersDataBeforeMeta feeds an entire message's data packets
+// before any metadata and expects a byte-correct reconstruction: the
+// pending buffer must hold the early packets and replay them when the
+// reliable metadata finally lands.
+func TestDecoderReordersDataBeforeMeta(t *testing.T) {
+	cfg := testConfig(quant.RHT, 0)
+	enc, err := NewEncoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grad := gaussianGrad(33, 1<<12)
+	msg, err := enc.Encode(1, 9, grad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecoder(cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range msg.Data {
+		if err := dec.Handle(d); err != nil {
+			t.Fatalf("early data: %v", err)
+		}
+	}
+	for _, m := range msg.Meta {
+		if err := dec.Handle(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, stats, err := dec.Reconstruct(msg.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Packets != len(msg.Data) {
+		t.Fatalf("accepted %d packets, want %d", stats.Packets, len(msg.Data))
+	}
+	if stats.RejectedPackets != 0 {
+		t.Fatalf("RejectedPackets = %d, want 0", stats.RejectedPackets)
+	}
+	if nm := vecmath.NMSE(grad, out); nm > 1e-8 {
+		t.Errorf("NMSE = %g after full reorder", nm)
 	}
 }

@@ -103,6 +103,10 @@ func NewNetworked(cfg Config, fabric FabricConfig, train, test *ml.Dataset, hidd
 		if err != nil {
 			return nil, err
 		}
+		// A round that cannot finish inside RoundTimeout surfaces as an
+		// explicit per-rank error instead of an empty result: a crashed or
+		// partitioned peer fails the round, never hangs it.
+		w.Deadline = fabric.RoundTimeout
 		nt.workers = append(nt.workers, w)
 	}
 	if fabric.CrossRate > 0 {

@@ -63,7 +63,7 @@ func runBaselineDrops(w io.Writer, o Options) error {
 		failed := false
 		a.SendReliable(1, 1, payloads,
 			func(at netsim.Time) { done = at },
-			func() { failed = true })
+			func(error) { failed = true })
 		sim.RunUntil(60 * netsim.Second)
 
 		status := "ok"

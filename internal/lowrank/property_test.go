@@ -1,0 +1,113 @@
+package lowrank
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"trimgrad/internal/xrand"
+)
+
+// Property-based invariants for the PowerSGD-style compressor, driven by
+// random shapes and contents: a rank prefix (the trimmable unit) must
+// degrade monotonically, and its wire size must grow monotonically — more
+// surviving bytes, never a worse gradient.
+
+// TestQuickRankPrefixMonotone generalizes the deterministic rank-prefix
+// test across random matrices: for any content, NMSE(Decode(f, r)) is
+// non-increasing in r up to float tolerance.
+func TestQuickRankPrefixMonotone(t *testing.T) {
+	f := func(seed uint64, rr uint8, rows, cols uint8) bool {
+		rank := int(rr)%5 + 2
+		nr := int(rows)%24 + rank + 2
+		nc := int(cols)%24 + rank + 2
+		r := xrand.New(seed)
+		m := NewMatrix(nr, nc)
+		for i := range m.Data {
+			m.Data[i] = float32(r.NormFloat64())
+		}
+		c := NewCompressor(rank, seed)
+		// A single Compress keeps the error-feedback residual at zero, so
+		// the factors target m itself and Decode(fac, r) = P_r·P_rᵀ·m is an
+		// orthogonal projection — monotone in r by construction. (With warm
+		// starts the target drifts to m+residual and the prefix curve is
+		// only monotone against that drifted target.)
+		fac := c.Compress(m)
+		prev := math.Inf(1)
+		for k := 1; k <= rank; k++ {
+			nm := nmseMat(m, Decode(fac, k))
+			if nm > prev*(1+1e-6)+1e-6 {
+				t.Logf("seed %d rank %d→%d: NMSE rose %g → %g", seed, k-1, k, prev, nm)
+				return false
+			}
+			prev = nm
+		}
+		// A full gaussian matrix is not low-rank, but even rank-1 must beat
+		// the zero estimate eventually; the full prefix certainly must.
+		return prev < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFactorBytesMonotone: the wire size of a rank prefix is strictly
+// increasing in the number of ranks kept and clamps at the full rank.
+func TestQuickFactorBytesMonotone(t *testing.T) {
+	f := func(rr, rows, cols uint8) bool {
+		rank := int(rr)%6 + 1
+		nr := int(rows)%30 + rank + 1
+		nc := int(cols)%30 + rank + 1
+		fac := Factors{P: NewMatrix(nr, rank), Q: NewMatrix(nc, rank)}
+		prev := 0
+		for k := 1; k <= rank; k++ {
+			b := fac.Bytes(k)
+			if b <= prev {
+				return false
+			}
+			prev = b
+		}
+		// Asking for more ranks than exist clamps to the full size.
+		return fac.Bytes(rank+5) == prev
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickExactlyLowRankRecovered: when the matrix truly has rank ≤ r,
+// a few warm-started power iterations recover it (near-)exactly — the
+// untrimmed end of the degradation curve.
+func TestQuickExactlyLowRankRecovered(t *testing.T) {
+	f := func(seed uint64, rr uint8) bool {
+		rank := int(rr)%3 + 1
+		r := xrand.New(seed)
+		// Build an exactly rank-`rank` matrix as a sum of outer products.
+		const nr, nc = 20, 16
+		m := NewMatrix(nr, nc)
+		for k := 0; k < rank; k++ {
+			u := make([]float64, nr)
+			v := make([]float64, nc)
+			for i := range u {
+				u[i] = r.NormFloat64()
+			}
+			for j := range v {
+				v[j] = r.NormFloat64()
+			}
+			for i := 0; i < nr; i++ {
+				for j := 0; j < nc; j++ {
+					m.Data[i*nc+j] += float32(u[i] * v[j])
+				}
+			}
+		}
+		c := NewCompressor(rank, seed)
+		var fac Factors
+		for iter := 0; iter < 6; iter++ {
+			fac = c.Compress(m)
+		}
+		return nmseMat(m, Decode(fac, rank)) < 0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

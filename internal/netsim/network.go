@@ -74,6 +74,9 @@ type Node interface {
 	Deliver(pkt *Packet)
 	// attach creates this node's outgoing port toward peer.
 	attach(peer Node, link LinkConfig)
+	// portTo returns the outgoing port toward a directly-connected peer,
+	// or nil. Fault injection and link flaps address ports through it.
+	portTo(peer NodeID) *Port
 }
 
 // Network owns the topology: nodes and the links between them.
@@ -136,6 +139,10 @@ type PortStats struct {
 	Trimmed       int
 	ECNMarked     int
 	MaxQueueBytes int
+	// DownDrops counts packets discarded because the port was down
+	// (link flap or partition). Kept separate from Dropped so loss-rate
+	// assertions in congestion experiments stay meaningful.
+	DownDrops int
 }
 
 // Port is one output port: a two-priority byte-bounded queue feeding a
@@ -149,6 +156,8 @@ type Port struct {
 	bytes   [2]int
 	busy    bool
 	lossRNG *xrand.Rand
+	faults  *FaultInjector
+	down    bool
 	Stats   PortStats
 }
 
@@ -166,9 +175,28 @@ func newPort(sim *Sim, peer Node, link LinkConfig, cfg QueueConfig) *Port {
 // QueuedBytes returns the current total queue depth in bytes.
 func (p *Port) QueuedBytes() int { return p.bytes[PrioNormal] + p.bytes[PrioHigh] }
 
-// Enqueue admits a packet to the port, applying ECN marking and the
-// configured overflow policy. It starts the transmitter if idle.
+// Enqueue admits a packet to the port. A down port discards everything;
+// an attached FaultInjector may drop, clone, corrupt, or delay the packet
+// before (or instead of) admission; admit applies ECN marking and the
+// configured overflow policy and starts the transmitter if idle.
 func (p *Port) Enqueue(pkt *Packet) {
+	if p.down {
+		p.Stats.DownDrops++
+		return
+	}
+	if p.faults != nil {
+		p.faults.apply(pkt, p.admit)
+		return
+	}
+	p.admit(pkt)
+}
+
+func (p *Port) admit(pkt *Packet) {
+	if p.down {
+		// A reordered packet can surface after a flap began.
+		p.Stats.DownDrops++
+		return
+	}
 	if p.lossRNG != nil && p.lossRNG.Float64() < p.cfg.LossRate {
 		p.Stats.Dropped++
 		p.Stats.DroppedBytes += pkt.Size
@@ -265,6 +293,8 @@ func (s *Switch) SetRoute(dst, nextHop NodeID) { s.routes[dst] = nextHop }
 // Port returns the output port toward a neighbour (for statistics).
 func (s *Switch) Port(neighbour NodeID) *Port { return s.ports[neighbour] }
 
+func (s *Switch) portTo(peer NodeID) *Port { return s.ports[peer] }
+
 // Deliver implements Node: route and enqueue.
 func (s *Switch) Deliver(pkt *Packet) {
 	next, ok := s.routes[pkt.Dst]
@@ -292,6 +322,11 @@ type Host struct {
 	// Handler receives every packet addressed to this host. It runs at
 	// packet-arrival simulation time.
 	Handler func(pkt *Packet)
+	down    bool
+	failed  bool
+	// DownDrops counts packets the host dropped (in either direction)
+	// while paused or crashed.
+	DownDrops int
 }
 
 // ID implements Node.
@@ -304,22 +339,61 @@ func (h *Host) attach(peer Node, link LinkConfig) {
 	h.uplink = newPort(h.sim, peer, link, hostQueue)
 }
 
+func (h *Host) portTo(peer NodeID) *Port {
+	if h.uplink != nil && h.uplink.peer.ID() == peer {
+		return h.uplink
+	}
+	return nil
+}
+
 // Deliver implements Node.
 func (h *Host) Deliver(pkt *Packet) {
+	if h.down {
+		h.DownDrops++
+		return
+	}
 	if h.Handler != nil {
 		h.Handler(pkt)
 	}
 }
 
 // Send transmits a packet out of the host's NIC. The source field is
-// stamped automatically.
+// stamped automatically. A paused or crashed host silently drops its own
+// sends: its peers observe silence, exactly what a crash looks like from
+// the network.
 func (h *Host) Send(pkt *Packet) {
 	if h.uplink == nil {
 		panic(fmt.Sprintf("netsim: host %d is not attached", h.id))
 	}
+	if h.down {
+		h.DownDrops++
+		return
+	}
 	pkt.Src = h.id
 	h.uplink.Enqueue(pkt)
 }
+
+// Fail crashes the host permanently: from now on it neither receives nor
+// sends. Pending simulator timers owned by the host's transport still
+// fire, but anything they try to send is discarded.
+func (h *Host) Fail() {
+	h.failed = true
+	h.down = true
+}
+
+// Pause takes the host offline for d of simulated time (a GC stall, a
+// kernel hiccup, a reboot), then brings it back unless Fail intervened.
+func (h *Host) Pause(d Time) {
+	h.down = true
+	h.sim.After(d, func() {
+		if !h.failed {
+			h.down = false
+		}
+	})
+}
+
+// Down reports whether the host is currently offline.
+func (h *Host) Down() bool { return h.down }
 
 // Uplink returns the host NIC port (for statistics).
 func (h *Host) Uplink() *Port { return h.uplink }

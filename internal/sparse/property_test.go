@@ -1,0 +1,131 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"trimgrad/internal/xrand"
+)
+
+// Property-based invariants for the sparsification primitives: keeping
+// more coordinates can only reduce the reconstruction error, and the
+// survivor mask grows monotonically with the keep fraction.
+
+func gaussianVec(seed uint64, n int) []float32 {
+	r := xrand.New(seed)
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = float32(r.NormFloat64())
+	}
+	return v
+}
+
+func sqErr(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
+	}
+	return s
+}
+
+// TestQuickTopKErrorMonotone: ‖v − densify(topk(v, k))‖² is non-increasing
+// in k, bounded by ‖v‖², and zero at k = n.
+func TestQuickTopKErrorMonotone(t *testing.T) {
+	f := func(seed uint64, sz uint16) bool {
+		n := int(sz%500) + 4
+		v := gaussianVec(seed, n)
+		var norm float64
+		for _, x := range v {
+			norm += float64(x) * float64(x)
+		}
+		prev := math.Inf(1)
+		for _, k := range []int{1, n / 8, n / 4, n / 2, 3 * n / 4, n} {
+			if k < 1 {
+				k = 1
+			}
+			idx, vals := TopK(v, k)
+			if len(idx) != len(vals) {
+				return false
+			}
+			dense, err := Densify(n, idx, vals)
+			if err != nil {
+				return false
+			}
+			e := sqErr(v, dense)
+			if e > prev*(1+1e-12)+1e-9 || e > norm*(1+1e-12)+1e-9 {
+				t.Logf("seed %d n %d k %d: err %g prev %g norm %g", seed, n, k, e, prev, norm)
+				return false
+			}
+			prev = e
+		}
+		// Keeping everything reconstructs exactly.
+		return prev == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTopKKeepsLargest: every kept magnitude is ≥ every dropped one —
+// the defining property that makes the error curve monotone.
+func TestQuickTopKKeepsLargest(t *testing.T) {
+	f := func(seed uint64, sz uint16, kk uint8) bool {
+		n := int(sz%300) + 2
+		k := int(kk)%n + 1
+		v := gaussianVec(seed, n)
+		idx, _ := TopK(v, k)
+		kept := make(map[int]bool, len(idx))
+		minKept := math.Inf(1)
+		for _, i := range idx {
+			kept[i] = true
+			if m := math.Abs(float64(v[i])); m < minKept {
+				minKept = m
+			}
+		}
+		for i, x := range v {
+			if !kept[i] && math.Abs(float64(x)) > minKept+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSurvivorsMonotoneInKeepFrac: raising keepFrac never un-keeps a
+// coordinate — masks are nested, so downstream error is monotone too.
+func TestQuickSurvivorsMonotoneInKeepFrac(t *testing.T) {
+	f := func(seed uint64, sz uint16, per uint8) bool {
+		n := int(sz%400) + 8
+		perPacket := int(per)%32 + 1
+		v := gaussianVec(seed, n)
+		a := AssignSorted(v, perPacket)
+		// One trimmed packet in the middle of the schedule.
+		trimmed := make([]bool, len(a.Packets))
+		trimmed[len(a.Packets)/2] = true
+		var prevAlive []bool
+		for _, frac := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			alive := a.Survivors(trimmed, frac)
+			if len(alive) != n {
+				return false
+			}
+			if prevAlive != nil {
+				for i := range alive {
+					if prevAlive[i] && !alive[i] {
+						t.Logf("seed %d: coord %d un-kept when frac rose to %g", seed, i, frac)
+						return false
+					}
+				}
+			}
+			prevAlive = alive
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -12,6 +12,7 @@ type relData struct {
 	MsgID uint32
 	Idx   int
 	Total int
+	Sum   uint32 // datagram checksum over the payload
 }
 
 // relAck acknowledges one reliable data packet.
@@ -32,18 +33,20 @@ type relSender struct {
 	nAcked   int
 	nextIdx  int
 	cwnd     float64
+	rto      netsim.Time
 	retries  int
 	done     func(at netsim.Time)
-	failed   func()
+	failed   func(err error)
 	timerGen int
 	finished bool
 }
 
 // SendReliable transmits payloads to dst as message id, invoking done when
-// every packet has been acknowledged, or failed after MaxRetries timeout
-// rounds. Payload slices are not copied; callers must not mutate them.
+// every packet has been acknowledged, or failed (with the reason) after
+// MaxRetries timeout rounds. Payload slices are not copied; callers must
+// not mutate them.
 func (s *Stack) SendReliable(dst netsim.NodeID, id uint32, payloads [][]byte,
-	done func(at netsim.Time), failed func()) {
+	done func(at netsim.Time), failed func(err error)) {
 	tx := &relSender{
 		stack:    s,
 		dst:      dst,
@@ -52,6 +55,7 @@ func (s *Stack) SendReliable(dst netsim.NodeID, id uint32, payloads [][]byte,
 		acked:    make([]bool, len(payloads)),
 		inFlight: make(map[int]bool),
 		cwnd:     float64(s.cfg.InitWindow),
+		rto:      s.cfg.RTO,
 		done:     done,
 		failed:   failed,
 	}
@@ -82,14 +86,17 @@ func (tx *relSender) transmit(idx int) {
 		Kind:    "rel-data",
 		FlowID:  uint64(tx.id),
 		Seq:     uint64(idx),
-		Control: relData{MsgID: tx.id, Idx: idx, Total: len(tx.payloads)},
+		Control: relData{
+			MsgID: tx.id, Idx: idx, Total: len(tx.payloads),
+			Sum: payloadSum(tx.payloads[idx]),
+		},
 	})
 }
 
 func (tx *relSender) armTimer() {
 	tx.timerGen++
 	gen := tx.timerGen
-	tx.stack.sim.After(tx.stack.cfg.RTO, func() {
+	tx.stack.sim.After(tx.rto, func() {
 		if tx.finished || gen != tx.timerGen {
 			return
 		}
@@ -105,10 +112,13 @@ func (tx *relSender) onTimeout() {
 		tx.stack.Stats.Failures++
 		delete(tx.stack.relTx, msgKey{tx.dst, tx.id})
 		if tx.failed != nil {
-			tx.failed()
+			tx.failed(ErrRetriesExhausted)
 		}
 		return
 	}
+	// Exponential backoff: consecutive silent RTOs stretch the timer so a
+	// dead or partitioned peer costs O(MaxRetries · MaxRTO), not a flood.
+	tx.rto = tx.stack.cfg.backoff(tx.rto)
 	// Multiplicative decrease and go-back over the unacked set.
 	tx.cwnd = tx.cwnd / 2
 	if tx.cwnd < 1 {
@@ -138,6 +148,9 @@ func (tx *relSender) onAck(a relAck) {
 		tx.acked[a.Idx] = true
 		tx.nAcked++
 		delete(tx.inFlight, a.Idx)
+		// Forward progress: the path is alive, restart backoff.
+		tx.rto = tx.stack.cfg.RTO
+		tx.retries = 0
 		if a.ECE {
 			// One multiplicative decrease per marked ack keeps this
 			// simple; DCTCP-style fractional reaction is not needed for
@@ -172,13 +185,19 @@ type relReceiver struct {
 }
 
 func (s *Stack) handleRelData(p *netsim.Packet, c relData) {
+	if !s.validPayload(p, c.Sum) {
+		// Deliberately unacked: the sender's RTO treats the corrupted
+		// packet as lost and retransmits from its intact buffer.
+		return
+	}
 	key := msgKey{p.Src, c.MsgID}
 	rx := s.relRx[key]
 	if rx == nil {
 		rx = &relReceiver{got: make([]bool, c.Total)}
 		s.relRx[key] = rx
 	}
-	// Echo ECN into the ack so the sender reacts.
+	// Echo ECN into the ack so the sender reacts. Duplicates are re-acked
+	// too — the original ack may have been the casualty.
 	s.Stats.AcksSent++
 	s.host.Send(&netsim.Packet{
 		Dst:     p.Src,
@@ -187,8 +206,12 @@ func (s *Stack) handleRelData(p *netsim.Packet, c relData) {
 		Kind:    "rel-ack",
 		Control: relAck{MsgID: c.MsgID, Idx: c.Idx, Total: c.Total, ECE: p.ECE},
 	})
-	if c.Idx < 0 || c.Idx >= len(rx.got) || rx.got[c.Idx] {
-		return // duplicate
+	if c.Idx < 0 || c.Idx >= len(rx.got) {
+		return
+	}
+	if rx.got[c.Idx] {
+		s.Stats.DupsReceived++
+		return // acked above but never re-delivered
 	}
 	rx.got[c.Idx] = true
 	rx.nGot++

@@ -18,14 +18,25 @@
 package transport
 
 import (
+	"errors"
+	"hash/crc32"
+
 	"trimgrad/internal/netsim"
 	"trimgrad/internal/wire"
 )
 
+// ErrRetriesExhausted is the error a sender's failed callback receives
+// when a message burns through its MaxRetries retransmission budget —
+// the bounded-retry analogue of an NCCL communicator timeout.
+var ErrRetriesExhausted = errors.New("transport: retransmit budget exhausted")
+
 // Config tunes the protocols.
 type Config struct {
-	// RTO is the retransmission timeout.
+	// RTO is the initial retransmission timeout. Senders back off
+	// exponentially from it on consecutive timeouts.
 	RTO netsim.Time
+	// MaxRTO caps the exponential backoff. Zero means 16×RTO.
+	MaxRTO netsim.Time
 	// InitWindow is the reliable sender's initial congestion window in
 	// packets.
 	InitWindow int
@@ -40,6 +51,9 @@ func (c Config) withDefaults() Config {
 	if c.RTO == 0 {
 		c.RTO = 500 * netsim.Microsecond
 	}
+	if c.MaxRTO == 0 {
+		c.MaxRTO = 16 * c.RTO
+	}
 	if c.InitWindow == 0 {
 		c.InitWindow = 12
 	}
@@ -50,6 +64,15 @@ func (c Config) withDefaults() Config {
 		c.MaxRetries = 50
 	}
 	return c
+}
+
+// backoff doubles rto, capped at MaxRTO.
+func (c Config) backoff(rto netsim.Time) netsim.Time {
+	rto *= 2
+	if rto > c.MaxRTO {
+		rto = c.MaxRTO
+	}
+	return rto
 }
 
 // ackSize is the wire size of control packets (acks, nacks, done).
@@ -78,6 +101,14 @@ type Stats struct {
 	AcksSent        int
 	NacksSent       int
 	Failures        int // messages that exhausted MaxRetries
+	// RejectedPackets counts received trimgrad payloads that failed
+	// checksum/decode validation (bit corruption on the wire). They are
+	// dropped unacked and recovered through the normal loss path.
+	RejectedPackets int
+	// DupsReceived counts data/metadata packets that arrived again after
+	// already being accounted for; they are re-acked but never
+	// re-delivered to the application.
+	DupsReceived int
 }
 
 // Stack is the per-host transport endpoint. Create one per host with
@@ -155,3 +186,35 @@ func (s *Stack) deliver(src netsim.NodeID, payload []byte) {
 
 // payloadSize is the wire size of a packet carrying payload.
 func payloadSize(payload []byte) int { return len(payload) + wire.NetOverhead }
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// payloadSum is the datagram checksum a sender stamps into its control
+// header — the analogue of a UDP checksum over the payload. A trimming
+// switch legitimately shortens the payload without updating the sum, so
+// receivers only verify it on untrimmed packets.
+func payloadSum(payload []byte) uint32 { return crc32.Checksum(payload, crcTable) }
+
+// validPayload reports whether a received payload may be acked and
+// delivered. Untrimmed packets must match the sender's datagram checksum,
+// which covers opaque application bytes and trimgrad packets alike (and
+// catches flips in the magic itself). A payload claiming to be trimgrad
+// must additionally fully validate — header sanity plus every wire CRC its
+// trim state allows — which is what protects trimmed packets, whose
+// datagram sum the switch invalidated. Failures are counted in
+// Stats.RejectedPackets and dropped unacked so a flipped bit becomes a
+// recoverable loss, never a delivered bad gradient.
+func (s *Stack) validPayload(p *netsim.Packet, sum uint32) bool {
+	if !p.Trimmed && payloadSum(p.Payload) != sum {
+		s.Stats.RejectedPackets++
+		return false
+	}
+	if !wire.IsTrimgrad(p.Payload) {
+		return true
+	}
+	if wire.Validate(p.Payload) != nil {
+		s.Stats.RejectedPackets++
+		return false
+	}
+	return true
+}

@@ -98,7 +98,7 @@ func TestReliableRecoversFromDrops(t *testing.T) {
 	received := 0
 	b.Receiver = ReceiverFunc(func(netsim.NodeID, []byte) { received++ })
 	done := 0
-	fail := func() { t.Error("message failed") }
+	fail := func(err error) { t.Errorf("message failed: %v", err) }
 	a0.SendReliable(2, 1, payloads[0], func(netsim.Time) { done++ }, fail)
 	a1.SendReliable(2, 2, payloads[1], func(netsim.Time) { done++ }, fail)
 	sim.Run()
@@ -118,13 +118,16 @@ func TestReliableFailsAfterMaxRetries(t *testing.T) {
 	sim := netsim.NewSim()
 	star := netsim.BuildStar(sim, 2, fastLink(), netsim.QueueConfig{})
 	a := NewStack(star.Hosts[0], Config{MaxRetries: 3, RTO: 10 * netsim.Microsecond})
-	failed := false
+	var failErr error
 	a.SendReliable(55 /* no such host */, 1, [][]byte{{1, 2, 3}},
 		func(netsim.Time) { t.Fatal("should not complete") },
-		func() { failed = true })
+		func(err error) { failErr = err })
 	sim.Run()
-	if !failed {
+	if failErr == nil {
 		t.Fatal("expected failure callback")
+	}
+	if failErr != ErrRetriesExhausted {
+		t.Errorf("failure error = %v, want ErrRetriesExhausted", failErr)
 	}
 	if a.Stats.Failures != 1 {
 		t.Errorf("failures = %d", a.Stats.Failures)
@@ -225,7 +228,7 @@ func TestTrimAwareRecoversFullDataLoss(t *testing.T) {
 	failed := false
 	a.SendTrimmable(1, 1, msg.Meta, msg.Data, func(netsim.Time) {
 		t.Fatal("cannot complete through a 100-byte queue")
-	}, func() { failed = true })
+	}, func(error) { failed = true })
 	sim.Run()
 	if !failed {
 		t.Fatal("expected failure")
@@ -250,7 +253,7 @@ func TestTrimAwareNackRepairsPartialLoss(t *testing.T) {
 	b.Receiver = ReceiverFunc(func(_ netsim.NodeID, pl []byte) { _ = dec.Handle(pl) })
 	var doneAt netsim.Time
 	a.SendTrimmable(1, 1, msg.Meta, msg.Data, func(at netsim.Time) { doneAt = at },
-		func() { t.Fatal("failed") })
+		func(err error) { t.Fatalf("failed: %v", err) })
 	sim.Run()
 	if doneAt == 0 {
 		t.Fatal("did not complete")

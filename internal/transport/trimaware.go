@@ -16,6 +16,7 @@ type trimData struct {
 	MsgID uint32
 	Idx   int
 	Total int
+	Sum   uint32 // datagram checksum over the untrimmed payload
 }
 
 // trimMeta carries one reliable metadata payload.
@@ -23,6 +24,7 @@ type trimMeta struct {
 	MsgID uint32
 	Idx   int
 	Total int
+	Sum   uint32 // datagram checksum over the payload
 }
 
 // trimMetaAck acknowledges one metadata packet.
@@ -50,22 +52,25 @@ type trimSender struct {
 	data      [][]byte
 	metaAcked []bool
 	nMetaAck  int
+	rto       netsim.Time
 	retries   int
 	done      func(at netsim.Time)
-	failed    func()
+	failed    func(err error)
 	finished  bool
 	timerGen  int
 }
 
 // SendTrimmable transmits a trimmable message: metas reliably, data
 // packets once at line rate. done fires when the receiver confirms every
-// packet was accounted for (delivered or trimmed).
+// packet was accounted for (delivered or trimmed); failed receives the
+// reason when the retransmit budget runs out.
 func (s *Stack) SendTrimmable(dst netsim.NodeID, id uint32, metas, data [][]byte,
-	done func(at netsim.Time), failed func()) {
+	done func(at netsim.Time), failed func(err error)) {
 	tx := &trimSender{
 		stack: s, dst: dst, id: id,
 		metas: metas, data: data,
 		metaAcked: make([]bool, len(metas)),
+		rto:       s.cfg.RTO,
 		done:      done, failed: failed,
 	}
 	s.trimTx[msgKey{dst, id}] = tx
@@ -86,7 +91,10 @@ func (tx *trimSender) sendMeta(idx int) {
 		Payload: tx.metas[idx],
 		Kind:    "trim-meta",
 		FlowID:  uint64(tx.id),
-		Control: trimMeta{MsgID: tx.id, Idx: idx, Total: len(tx.metas)},
+		Control: trimMeta{
+			MsgID: tx.id, Idx: idx, Total: len(tx.metas),
+			Sum: payloadSum(tx.metas[idx]),
+		},
 	})
 }
 
@@ -99,14 +107,17 @@ func (tx *trimSender) sendData(idx int) {
 		Kind:    "trim-data",
 		FlowID:  uint64(tx.id),
 		Seq:     uint64(idx),
-		Control: trimData{MsgID: tx.id, Idx: idx, Total: len(tx.data)},
+		Control: trimData{
+			MsgID: tx.id, Idx: idx, Total: len(tx.data),
+			Sum: payloadSum(tx.data[idx]),
+		},
 	})
 }
 
 func (tx *trimSender) armTimer() {
 	tx.timerGen++
 	gen := tx.timerGen
-	tx.stack.sim.After(tx.stack.cfg.RTO, func() {
+	tx.stack.sim.After(tx.rto, func() {
 		if tx.finished || gen != tx.timerGen {
 			return
 		}
@@ -124,10 +135,11 @@ func (tx *trimSender) onTimeout() {
 		tx.stack.Stats.Failures++
 		delete(tx.stack.trimTx, msgKey{tx.dst, tx.id})
 		if tx.failed != nil {
-			tx.failed()
+			tx.failed(ErrRetriesExhausted)
 		}
 		return
 	}
+	tx.rto = tx.stack.cfg.backoff(tx.rto)
 	for i, ok := range tx.metaAcked {
 		if !ok {
 			tx.sendMeta(i)
@@ -152,6 +164,9 @@ func (tx *trimSender) onMetaAck(idx int) {
 	}
 	tx.metaAcked[idx] = true
 	tx.nMetaAck++
+	// Forward progress: restart the backoff clock.
+	tx.rto = tx.stack.cfg.RTO
+	tx.retries = 0
 }
 
 func (tx *trimSender) onNack(missing []int) {
@@ -207,6 +222,10 @@ func (s *Stack) trimReceiverFor(src netsim.NodeID, id uint32, nMeta, nData int) 
 }
 
 func (s *Stack) handleTrimMeta(p *netsim.Packet, c trimMeta) {
+	if !s.validPayload(p, c.Sum) {
+		// Unacked: the sender's meta RTO re-sends the intact bytes.
+		return
+	}
 	rx := s.trimReceiverFor(p.Src, c.MsgID, c.Total, 0)
 	// Always ack, even duplicates: the ack may have been lost.
 	s.Stats.AcksSent++
@@ -217,7 +236,11 @@ func (s *Stack) handleTrimMeta(p *netsim.Packet, c trimMeta) {
 		Kind:    "trim-meta-ack",
 		Control: trimMetaAck{MsgID: c.MsgID, Idx: c.Idx},
 	})
-	if c.Idx < 0 || c.Idx >= len(rx.metaGot) || rx.metaGot[c.Idx] {
+	if c.Idx < 0 || c.Idx >= len(rx.metaGot) {
+		return
+	}
+	if rx.metaGot[c.Idx] {
+		s.Stats.DupsReceived++
 		// A duplicate meta implies the sender missed our done: repeat it.
 		if rx.complete {
 			rx.sendDone()
@@ -232,11 +255,21 @@ func (s *Stack) handleTrimMeta(p *netsim.Packet, c trimMeta) {
 
 func (s *Stack) handleTrimData(p *netsim.Packet, c trimData) {
 	rx := s.trimReceiverFor(p.Src, c.MsgID, 0, c.Total)
+	if !s.validPayload(p, c.Sum) {
+		// Not marked in dataGot, so the gap check NACKs it and the sender
+		// re-sends from its intact buffer.
+		rx.armNack()
+		return
+	}
+	if c.Idx < 0 || c.Idx >= len(rx.dataGot) {
+		return
+	}
+	if rx.dataGot[c.Idx] {
+		s.Stats.DupsReceived++
+		return // accounted for already; never re-delivered
+	}
 	if p.Trimmed {
 		s.Stats.TrimmedReceived++
-	}
-	if c.Idx < 0 || c.Idx >= len(rx.dataGot) || rx.dataGot[c.Idx] {
-		return
 	}
 	rx.dataGot[c.Idx] = true
 	rx.nDataGot++

@@ -56,7 +56,7 @@ func BuildDataPacket(h Header, heads, tails []uint32) ([]byte, error) {
 	}
 	buf = append(buf, tw.Bytes()...)
 
-	binary.BigEndian.PutUint32(buf[offHeadCRC:], checksum(buf[HeaderSize:headEnd]))
+	binary.BigEndian.PutUint32(buf[offHeadCRC:], headerChecksum(buf, buf[HeaderSize:headEnd]))
 	binary.BigEndian.PutUint32(buf[offTailCRC:], checksum(buf[headEnd:]))
 	return buf, nil
 }
@@ -82,7 +82,7 @@ func ParseDataPacket(buf []byte) (*DataPacket, error) {
 	if hr == nil {
 		return nil, fmt.Errorf("%w: head region incomplete", ErrTooShort)
 	}
-	if checksum(hr) != binary.BigEndian.Uint32(buf[offHeadCRC:]) {
+	if headerChecksum(buf, hr) != binary.BigEndian.Uint32(buf[offHeadCRC:]) {
 		return nil, fmt.Errorf("%w (head region)", ErrBadChecksum)
 	}
 
@@ -112,8 +112,13 @@ func ParseDataPacket(buf []byte) (*DataPacket, error) {
 		// coordinate is complete as soon as its head arrives.
 		p.TailCount = int(h.Count)
 	}
-	if !h.Trimmed() && len(tailBuf) == h.TailBytes() {
-		if checksum(tailBuf) != binary.BigEndian.Uint32(buf[offTailCRC:]) {
+	// Verify the tail CRC whenever the full tail region survived. A
+	// genuinely trimmed packet has its tail CRC zeroed by the switch; a
+	// nonzero CRC on a "trimmed" full-length packet means the flag was
+	// corrupted in flight, and the stored CRC still convicts the tails.
+	tailCRC := binary.BigEndian.Uint32(buf[offTailCRC:])
+	if len(tailBuf) == h.TailBytes() && (!h.Trimmed() || tailCRC != 0) {
+		if checksum(tailBuf) != tailCRC {
 			return nil, fmt.Errorf("%w (tail region)", ErrBadChecksum)
 		}
 	}
@@ -132,6 +137,22 @@ func ParseDataPacket(buf []byte) (*DataPacket, error) {
 // checksum computes CRC-32C over b.
 func checksum(b []byte) uint32 {
 	return crc32.Checksum(b, castagnoli)
+}
+
+// headerChecksum computes CRC-32C over the immutable header bytes followed
+// by region. The flags byte is normalized with FlagTrimmed cleared — a
+// trimming switch sets that bit in flight, and the CRC must survive the
+// rewrite — while FlagMeta/FlagNaive stay covered so a bit flip cannot
+// reinterpret a packet as another kind. The CRC fields themselves are
+// excluded. Folding the header under the head CRC means a flip in
+// Row/Start/Seed/geometry is rejected instead of silently decoding
+// coordinates into the wrong place.
+func headerChecksum(buf []byte, region []byte) uint32 {
+	flags := [1]byte{buf[offFlags] &^ FlagTrimmed}
+	c := crc32.Update(0, castagnoli, buf[:offFlags])
+	c = crc32.Update(c, castagnoli, flags[:])
+	c = crc32.Update(c, castagnoli, buf[offFlags+1:offHeadCRC])
+	return crc32.Update(c, castagnoli, region)
 }
 
 // Trim performs the switch-side trim operation on a raw packet buffer,

@@ -36,7 +36,7 @@ func BuildMetaPacket(h Header, scheme uint8, n uint32, scale float64) []byte {
 	pl[3] = 0
 	binary.BigEndian.PutUint32(pl[4:], n)
 	binary.BigEndian.PutUint64(pl[8:], math.Float64bits(scale))
-	binary.BigEndian.PutUint32(buf[offHeadCRC:], checksum(pl))
+	binary.BigEndian.PutUint32(buf[offHeadCRC:], headerChecksum(buf, pl))
 	binary.BigEndian.PutUint32(buf[offTailCRC:], 0)
 	return buf
 }
@@ -54,7 +54,7 @@ func ParseMetaPacket(buf []byte) (*MetaPacket, error) {
 		return nil, fmt.Errorf("%w: metadata payload incomplete", ErrTooShort)
 	}
 	pl := buf[HeaderSize:MetaSize]
-	if checksum(pl) != binary.BigEndian.Uint32(buf[offHeadCRC:]) {
+	if headerChecksum(buf, pl) != binary.BigEndian.Uint32(buf[offHeadCRC:]) {
 		return nil, fmt.Errorf("%w (metadata)", ErrBadChecksum)
 	}
 	return &MetaPacket{

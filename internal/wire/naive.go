@@ -44,7 +44,7 @@ func BuildNaivePacket(h Header, values []float32) ([]byte, error) {
 	for i, v := range values {
 		binary.BigEndian.PutUint32(buf[HeaderSize+4*i:], math.Float32bits(v))
 	}
-	binary.BigEndian.PutUint32(buf[offHeadCRC:], checksum(buf[HeaderSize:]))
+	binary.BigEndian.PutUint32(buf[offHeadCRC:], headerChecksum(buf, buf[HeaderSize:]))
 	binary.BigEndian.PutUint32(buf[offTailCRC:], 0)
 	return buf, nil
 }
@@ -64,9 +64,15 @@ func ParseNaivePacket(buf []byte) (*NaivePacket, error) {
 	if n > int(h.Count) {
 		n = int(h.Count)
 	}
+	// An untrimmed packet claiming more floats than it carries is corrupt
+	// or forged — only a trimming switch legitimately shortens a packet.
+	if !h.Trimmed() && n < int(h.Count) {
+		return nil, fmt.Errorf("%w: untrimmed naive packet carries %d of %d floats",
+			ErrTooShort, n, h.Count)
+	}
 	if !h.Trimmed() && n == int(h.Count) {
 		full := buf[HeaderSize : HeaderSize+4*int(h.Count)]
-		if checksum(full) != binary.BigEndian.Uint32(buf[offHeadCRC:]) {
+		if headerChecksum(buf, full) != binary.BigEndian.Uint32(buf[offHeadCRC:]) {
 			return nil, fmt.Errorf("%w (naive payload)", ErrBadChecksum)
 		}
 	}

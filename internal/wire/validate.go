@@ -1,0 +1,32 @@
+package wire
+
+import "encoding/binary"
+
+// IsTrimgrad reports whether buf begins with the trimgrad magic. It is a
+// cheap gate for transports that also carry opaque application payloads:
+// only buffers claiming to be trimgrad packets are held to Validate.
+func IsTrimgrad(buf []byte) bool {
+	return len(buf) >= offVersion && binary.BigEndian.Uint16(buf[offMagic:]) == Magic
+}
+
+// Validate fully parses buf as whichever packet kind its flags claim,
+// verifying every checksum the packet's trim state allows. A nil return
+// means the surviving bytes are intact; note that the tail bytes of a
+// trimmed packet carry no checksum (Trim zeroes the tail CRC), so
+// corruption confined to a trimmed tail is undetectable by design — the
+// decode path treats those coordinates as lossy anyway.
+func Validate(buf []byte) error {
+	h, err := ParseHeader(buf)
+	if err != nil {
+		return err
+	}
+	switch {
+	case h.IsMeta():
+		_, err = ParseMetaPacket(buf)
+	case h.IsNaive():
+		_, err = ParseNaivePacket(buf)
+	default:
+		_, err = ParseDataPacket(buf)
+	}
+	return err
+}

@@ -26,7 +26,12 @@
 //
 // All integers are big-endian (network byte order). Head and tail regions
 // are covered by separate CRC-32C checksums so that a trimmed packet still
-// verifies its surviving bytes.
+// verifies its surviving bytes. The head CRC additionally covers the fixed
+// header (minus the flags byte, which a trimming switch rewrites in flight,
+// and the CRC fields themselves), so corrupted routing/geometry fields are
+// rejected rather than decoded into the wrong coordinates. A trimmed
+// packet's surviving tail bytes are the one unprotected region: the switch
+// clears the tail CRC when it cuts the packet.
 package wire
 
 import (

@@ -2,20 +2,31 @@
 # check.sh — trimgrad's tier-1 verification gate.
 #
 # Usage:
-#   scripts/check.sh          full gate (includes the race-detector pass)
+#   scripts/check.sh          full gate (race pass, fuzz smoke, coverage)
 #   scripts/check.sh -short   fast mode: skips the race-detector pass and
 #                             runs the test suite with -short
+#   scripts/check.sh -chaos   fault-injection pass only: race-enabled chaos,
+#                             fault, and duplicate-delivery regression tests
 #
 # Every step must pass; the script stops at the first failure.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-short=0
-if [[ "${1:-}" == "-short" ]]; then
-  short=1
-fi
+mode=full
+case "${1:-}" in
+  -short) mode=short ;;
+  -chaos) mode=chaos ;;
+esac
 
 step() { echo "== $*"; }
+
+if [[ $mode == chaos ]]; then
+  step "go test -race (chaos/fault/duplicate regressions)"
+  go test -race -run 'Chaos|Fault|Flap|Duplicate|PauseAndFail' \
+    ./internal/netsim ./internal/transport ./internal/collective
+  echo "OK (chaos pass)"
+  exit 0
+fi
 
 step "gofmt"
 unformatted=$(gofmt -l .)
@@ -34,7 +45,7 @@ go run ./cmd/trimlint ./...
 step "go build ./..."
 go build ./...
 
-if [[ $short -eq 1 ]]; then
+if [[ $mode == short ]]; then
   step "go test -short ./..."
   go test -short ./...
   echo "OK (short mode: race-detector pass skipped)"
@@ -46,5 +57,14 @@ go test ./...
 
 step "go test -race (concurrency-heavy packages)"
 go test -race ./internal/core ./internal/transport ./internal/collective ./internal/ddp
+
+step "fuzz smoke (wire parsers + Trim, 2s each)"
+for target in FuzzParseDataPacket FuzzParseMetaPacket FuzzParseNaivePacket FuzzTrim FuzzTrimPreservesHeads; do
+  go test -run '^$' -fuzz "^${target}\$" -fuzztime 2s ./internal/wire
+done
+
+step "coverage (fault-injection surface)"
+go test -cover ./internal/netsim ./internal/wire ./internal/transport \
+  ./internal/collective ./internal/core | awk '{print "   " $2 "\t" $5}'
 
 echo "OK"

@@ -1,0 +1,96 @@
+// Command gencorpus regenerates the seed corpora for package wire's fuzz
+// targets under internal/wire/testdata/fuzz/. Run it from the repository
+// root after changing the wire format:
+//
+//	go run ./tools/gencorpus
+//
+// The corpora complement the in-code f.Add seeds: they are checked in so
+// `go test` always exercises the interesting shapes (valid packets of
+// every kind, trimmed packets, CRC-corrupted packets, truncations) even
+// without a fuzzing session, and `go test -fuzz` starts from real packets
+// instead of rediscovering the magic bytes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"trimgrad/internal/wire"
+)
+
+const corpusRoot = "internal/wire/testdata/fuzz"
+
+func writeEntry(target, name string, values ...any) {
+	dir := filepath.Join(corpusRoot, target)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	body := "go test fuzz v1\n"
+	for _, v := range values {
+		switch x := v.(type) {
+		case []byte:
+			body += "[]byte(" + strconv.Quote(string(x)) + ")\n"
+		case uint64:
+			body += fmt.Sprintf("uint64(%d)\n", x)
+		case int:
+			body += fmt.Sprintf("int(%d)\n", x)
+		default:
+			log.Fatalf("unsupported corpus value type %T", v)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func main() {
+	h := wire.Header{
+		Flow: 7, Message: 3, Row: 1, Start: 0,
+		Count: 64, P: 4, Q: 12, Seed: 0xDEADBEEF,
+	}
+	heads := make([]uint32, h.Count)
+	tails := make([]uint32, h.Count)
+	for i := range heads {
+		heads[i] = uint32(i) % (1 << h.P)
+		tails[i] = uint32(i*2654435761) % (1 << h.Q)
+	}
+	data, err := wire.BuildDataPacket(h, heads, tails)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trimmed := wire.Trim(append([]byte(nil), data...), wire.HeaderSize+40)
+	meta := wire.BuildMetaPacket(h, 3, 1024, 0.125)
+	naive, err := wire.BuildNaivePacket(h, []float32{1.5, -2.25, 0, 3e7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	naiveTrimmed := wire.Trim(append([]byte(nil), naive...), wire.HeaderSize+8)
+
+	corrupt := func(buf []byte, off int) []byte {
+		c := append([]byte(nil), buf...)
+		c[off] ^= 0x40
+		return c
+	}
+
+	for _, target := range []string{
+		"FuzzParseDataPacket", "FuzzParseMetaPacket", "FuzzParseNaivePacket", "FuzzTrim",
+	} {
+		writeEntry(target, "valid-data", data)
+		writeEntry(target, "trimmed-data", trimmed)
+		writeEntry(target, "valid-meta", meta)
+		writeEntry(target, "valid-naive", naive)
+		writeEntry(target, "trimmed-naive", naiveTrimmed)
+		writeEntry(target, "corrupt-header", corrupt(data, 13))
+		writeEntry(target, "corrupt-payload", corrupt(data, wire.HeaderSize+3))
+		writeEntry(target, "corrupt-crc", corrupt(data, 33))
+		writeEntry(target, "truncated", data[:wire.HeaderSize+5])
+		writeEntry(target, "header-only", data[:wire.HeaderSize])
+	}
+	writeEntry("FuzzTrimPreservesHeads", "small", uint64(11), 16, 60)
+	writeEntry("FuzzTrimPreservesHeads", "cut-in-tails", uint64(12), 128, 300)
+	writeEntry("FuzzTrimPreservesHeads", "below-boundary", uint64(13), 200, 41)
+	fmt.Println("wrote corpora under", corpusRoot)
+}
