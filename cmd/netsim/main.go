@@ -15,6 +15,7 @@ import (
 
 	"trimgrad/internal/core"
 	"trimgrad/internal/netsim"
+	"trimgrad/internal/obs"
 	"trimgrad/internal/quant"
 	"trimgrad/internal/transport"
 )
@@ -29,6 +30,7 @@ func main() {
 		gbps     = flag.Float64("gbps", 10, "link bandwidth in Gbit/s")
 		cross    = flag.Float64("cross", 0, "cross-traffic rate (packets/s) per sender host")
 		seed     = flag.Uint64("seed", 1, "seed")
+		metrics  = flag.String("metrics", "", "export per-port/transport telemetry and flow spans as JSONL to this file")
 	)
 	flag.Parse()
 
@@ -42,18 +44,22 @@ func main() {
 	}
 	link := netsim.LinkConfig{Bandwidth: netsim.Gbps(*gbps), Delay: 5 * netsim.Microsecond}
 
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.New()
+	}
 	sim := netsim.NewSim()
 	var hosts []*netsim.Host
 	var receiver *netsim.Host
 	var bottleneck *netsim.Port
 	switch *topology {
 	case "star":
-		star := netsim.BuildStar(sim, *senders+1, link, qcfg)
+		star := netsim.BuildStar(sim, *senders+1, link, qcfg, netsim.WithRegistry(reg))
 		hosts = star.Hosts[:*senders]
 		receiver = star.Hosts[*senders]
 		bottleneck = star.Switch.Port(receiver.ID())
 	case "dumbbell":
-		d := netsim.BuildDumbbell(sim, *senders, 1, link, link, qcfg)
+		d := netsim.BuildDumbbell(sim, *senders, 1, link, link, qcfg, netsim.WithRegistry(reg))
 		hosts = d.LeftHosts
 		receiver = d.RightHosts[0]
 		bottleneck = d.Left.Port(d.Right.ID())
@@ -62,14 +68,15 @@ func main() {
 		os.Exit(2)
 	}
 
-	rx := transport.NewStack(receiver, transport.Config{})
+	rx := transport.New(receiver)
 	rx.Receiver = transport.ReceiverFunc(func(netsim.NodeID, []byte) {})
 
 	fct := netsim.NewFCTRecorder()
+	fct.Obs = reg
 	completed := 0
 	var stacks []*transport.Stack
 	for i, h := range hosts {
-		s := transport.NewStack(h, transport.Config{})
+		s := transport.New(h)
 		stacks = append(stacks, s)
 		enc, err := core.NewEncoder(core.Config{
 			Params: quant.Params{Scheme: quant.RHT}, RowSize: 1 << 13, Flow: uint32(i),
@@ -120,5 +127,18 @@ func main() {
 		st := bottleneck.Stats
 		fmt.Printf("bottleneck port     enq=%d tx=%d trim=%d drop=%d maxQ=%dB\n",
 			st.Enqueued, st.Transmitted, st.Trimmed, st.Dropped, st.MaxQueueBytes)
+	}
+
+	if *metrics != "" {
+		f, err := os.Create(*metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "netsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := obs.WriteJSONL(f, reg.Snapshot()); err != nil {
+			fmt.Fprintln(os.Stderr, "netsim:", err)
+			os.Exit(1)
+		}
 	}
 }

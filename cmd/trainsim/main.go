@@ -18,6 +18,7 @@ import (
 	"trimgrad/internal/core"
 	"trimgrad/internal/ddp"
 	"trimgrad/internal/ml"
+	"trimgrad/internal/obs"
 	"trimgrad/internal/quant"
 )
 
@@ -34,6 +35,7 @@ func main() {
 		record   = flag.String("record", "", "record the trim transcript to this file (§5.4)")
 		replay   = flag.String("replay", "", "replay a recorded trim transcript (§5.4)")
 		hard     = flag.Bool("hard", true, "use the hard 100-class benchmark task")
+		metrics  = flag.String("metrics", "", "export per-round telemetry (ddp.round.* spans, codec counters) as JSONL to this file")
 	)
 	flag.Parse()
 
@@ -90,7 +92,12 @@ func main() {
 		cfg.Injector = core.NewPlayer(transcript)
 	}
 
-	tr, err := ddp.New(cfg, train, test, 128)
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.New()
+	}
+	tr, err := ddp.NewTrainer(train, test,
+		ddp.WithConfig(cfg), ddp.WithHidden(128), ddp.WithRegistry(reg))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "trainsim:", err)
 		os.Exit(1)
@@ -121,5 +128,18 @@ func main() {
 		}
 		fmt.Printf("recorded %d packet fates to %s\n",
 			len(recorder.Transcript.Events), *record)
+	}
+
+	if *metrics != "" {
+		f, err := os.Create(*metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trainsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := obs.WriteJSONL(f, reg.Snapshot()); err != nil {
+			fmt.Fprintln(os.Stderr, "trainsim:", err)
+			os.Exit(1)
+		}
 	}
 }

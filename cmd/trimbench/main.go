@@ -17,15 +17,17 @@ import (
 	"os"
 
 	"trimgrad/internal/exp"
+	"trimgrad/internal/obs"
 )
 
 func main() {
 	var (
-		name  = flag.String("exp", "", "experiment to run (see -list), or 'all'")
-		list  = flag.Bool("list", false, "list available experiments")
-		quick = flag.Bool("quick", false, "shrink datasets/epochs for a fast smoke run")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		seed  = flag.Uint64("seed", 0, "experiment seed offset")
+		name    = flag.String("exp", "", "experiment to run (see -list), or 'all'")
+		list    = flag.Bool("list", false, "list available experiments")
+		quick   = flag.Bool("quick", false, "shrink datasets/epochs for a fast smoke run")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		seed    = flag.Uint64("seed", 0, "experiment seed offset")
+		metrics = flag.String("metrics", "", "export collected telemetry as JSONL to this file")
 	)
 	flag.Parse()
 
@@ -41,6 +43,9 @@ func main() {
 	}
 
 	o := exp.Options{Quick: *quick, CSV: *csv, Seed: *seed}
+	if *metrics != "" {
+		o.Obs = obs.New()
+	}
 	run := func(r exp.Runner) {
 		fmt.Printf("# %s — %s\n\n", r.Name, r.Desc)
 		if err := r.Run(os.Stdout, o); err != nil {
@@ -52,12 +57,32 @@ func main() {
 		for _, r := range exp.Experiments() {
 			run(r)
 		}
-		return
+	} else {
+		r, ok := exp.Lookup(*name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "trimbench: unknown experiment %q (try -list)\n", *name)
+			os.Exit(2)
+		}
+		run(r)
 	}
-	r, ok := exp.Lookup(*name)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "trimbench: unknown experiment %q (try -list)\n", *name)
-		os.Exit(2)
+
+	if *metrics != "" {
+		if err := exportMetrics(*metrics, o.Obs); err != nil {
+			fmt.Fprintln(os.Stderr, "trimbench:", err)
+			os.Exit(1)
+		}
 	}
-	run(r)
+}
+
+// exportMetrics writes the registry's snapshot as JSONL.
+func exportMetrics(path string, r *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteJSONL(f, r.Snapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -88,6 +88,7 @@ func Analyzers() []*Analyzer {
 		FloatEqualityAnalyzer,
 		WireEndiannessAnalyzer,
 		LockedValueCopyAnalyzer,
+		WallClockAnalyzer,
 	}
 }
 

@@ -107,6 +107,8 @@ func TestFixtures(t *testing.T) {
 		{"wire-endianness", "testdata/endian/mixed"},
 		{"wire-endianness", "testdata/endian/pure"},
 		{"locked-value-copy", "testdata/copylock/locks"},
+		{"wallclock", "testdata/wallclock/ddp"},
+		{"wallclock", "testdata/wallclock/metrics"},
 	}
 	for _, c := range cases {
 		c := c

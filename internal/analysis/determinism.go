@@ -39,6 +39,10 @@ var deterministicPkgs = map[string]bool{
 	"transport":  true,
 	"sparse":     true,
 	"lowrank":    true,
+	// obs is the telemetry registry: its snapshots and exports are part of
+	// the reproducible experiment output, so map-order and clock leaks are
+	// held to the wire standard (sorted-snapshot sites carry directives).
+	"obs": true,
 	// exp is the evaluation harness: its tables must reproduce run to run
 	// (seeded workloads), so it is held to the same standard; its few
 	// wall-clock perf measurements carry explicit allow directives.

@@ -1,0 +1,28 @@
+// Package ddp is a wallclock-checker fixture: its name places it in the
+// instrumented set, so direct wall-clock reads must be reported while
+// timer plumbing and duration arithmetic stay legal.
+package ddp
+
+import "time"
+
+func stampRound() int64 {
+	return time.Now().UnixNano() // want "reads the wall clock via time.Now"
+}
+
+func roundCost(start time.Time) time.Duration {
+	return time.Since(start) // want "reads the wall clock via time.Since"
+}
+
+func deadlineGap(d time.Time) time.Duration {
+	return time.Until(d) // want "reads the wall clock via time.Until"
+}
+
+func durationMath(d time.Duration) float64 {
+	// Pure conversions never read the clock.
+	return d.Seconds() + (2 * time.Millisecond).Seconds()
+}
+
+func allowedProfiling() time.Time {
+	//trimlint:allow wallclock fixture: annotated exceptions are honored
+	return time.Now()
+}

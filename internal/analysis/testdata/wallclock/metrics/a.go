@@ -1,0 +1,14 @@
+// Package metrics is a wallclock-checker fixture for the negative case:
+// it is not in the instrumented set, so wall-clock reads here are not
+// this checker's business (no want comments — zero diagnostics expected).
+package metrics
+
+import "time"
+
+func stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}

@@ -1,0 +1,64 @@
+package analysis
+
+import "go/ast"
+
+// WallClockAnalyzer guards the observability contract of internal/obs:
+// telemetry must be bit-identical between two same-seed runs, so every
+// timestamp in an instrumented package has to come from the obs clock (in
+// simulations, the netsim virtual clock) — never from the wall clock.
+//
+// This is narrower than the determinism checker: it covers only the
+// clock-reading functions, but it extends to packages that are not on the
+// wire-determinism list yet still emit telemetry (ddp stamps per-round
+// compute/encode/comm spans; obs is the stamper itself). A wall-clock
+// read there silently turns reproducible exports into per-run noise.
+var WallClockAnalyzer = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbid direct time.Now/time.Since in instrumented packages; stamp telemetry through the obs clock or netsim virtual time",
+	Run:  runWallClock,
+}
+
+// instrumentedPkgs names the packages whose telemetry must be stamped in
+// deterministic time. Packages already in deterministicPkgs get the same
+// protection (and more) from the determinism checker; list here only the
+// additional instrumented ones plus obs itself.
+var instrumentedPkgs = map[string]bool{
+	"obs": true,
+	"ddp": true,
+}
+
+// bannedClockFuncs are the time-package functions that read the wall
+// clock. Unlike the determinism checker's broader list, timers/sleeps are
+// left to that checker — this one targets timestamp sources, the calls
+// that leak directly into exported telemetry.
+var bannedClockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func runWallClock(p *Pass) {
+	if !instrumentedPkgs[p.Pkg.Name] {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := p.Pkg.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			if bannedClockFuncs[obj.Name()] {
+				p.Report(call, "instrumented package %s reads the wall clock via time.%s; telemetry must be stamped through the obs registry clock (netsim virtual time in simulations) so same-seed runs export identical metrics", p.Pkg.Name, obj.Name())
+			}
+			return true
+		})
+	}
+}

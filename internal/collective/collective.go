@@ -11,9 +11,11 @@ package collective
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
 	"trimgrad/internal/core"
 	"trimgrad/internal/netsim"
+	"trimgrad/internal/obs"
 	"trimgrad/internal/transport"
 	"trimgrad/internal/wire"
 )
@@ -56,6 +58,7 @@ type Worker struct {
 	cfg  core.Config
 	enc  *core.Encoder
 	decs map[decKey]*core.Decoder
+	obs  *obs.Registry
 
 	// onComplete is the op-installed completion hook.
 	onComplete func(src netsim.NodeID, msg uint32, at netsim.Time)
@@ -68,21 +71,60 @@ type decKey struct {
 	msg uint32
 }
 
-// NewWorker binds a worker to a stack. cfg.Flow is overwritten with the
-// rank so packet headers identify the sender.
-func NewWorker(rank int, stack *transport.Stack, cfg core.Config, mode Mode) (*Worker, error) {
+// An Option configures a Worker at construction.
+type Option func(*workerOpts)
+
+type workerOpts struct {
+	cfg      core.Config
+	mode     Mode
+	deadline netsim.Time
+	reg      *obs.Registry
+	regSet   bool
+}
+
+// WithConfig sets the codec configuration (Flow is overwritten with the
+// rank regardless).
+func WithConfig(cfg core.Config) Option { return func(o *workerOpts) { o.cfg = cfg } }
+
+// WithMode selects the transport protocol.
+func WithMode(m Mode) Option { return func(o *workerOpts) { o.mode = m } }
+
+// WithDeadline bounds each collective operation this worker joins.
+func WithDeadline(d netsim.Time) Option { return func(o *workerOpts) { o.deadline = d } }
+
+// WithRegistry overrides the telemetry registry. By default the worker
+// inherits the registry bound to its host's simulator; the worker's
+// encoder and decoders report into it, and collective operations record
+// per-phase spans on it.
+func WithRegistry(r *obs.Registry) Option {
+	return func(o *workerOpts) { o.reg, o.regSet = r, true }
+}
+
+// New binds a worker to a stack, configured by options. The codec Flow id
+// is overwritten with the rank so packet headers identify the sender.
+func New(rank int, stack *transport.Stack, opts ...Option) (*Worker, error) {
+	var o workerOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if !o.regSet {
+		o.reg = stack.Host().Sim().Obs()
+	}
+	cfg := o.cfg
 	cfg.Flow = uint32(rank)
-	enc, err := core.NewEncoder(cfg)
+	enc, err := core.NewEncoderWith(core.WithConfig(cfg), core.WithRegistry(o.reg))
 	if err != nil {
 		return nil, err
 	}
 	w := &Worker{
-		Rank:  rank,
-		Stack: stack,
-		Mode:  mode,
-		cfg:   cfg,
-		enc:   enc,
-		decs:  make(map[decKey]*core.Decoder),
+		Rank:     rank,
+		Stack:    stack,
+		Mode:     o.mode,
+		Deadline: o.deadline,
+		cfg:      cfg,
+		enc:      enc,
+		decs:     make(map[decKey]*core.Decoder),
+		obs:      o.reg,
 	}
 	stack.Receiver = transport.ReceiverFunc(w.handlePayload)
 	stack.OnMessageComplete = func(src netsim.NodeID, msg uint32, at netsim.Time) {
@@ -91,6 +133,21 @@ func NewWorker(rank int, stack *transport.Stack, cfg core.Config, mode Mode) (*W
 		}
 	}
 	return w, nil
+}
+
+// NewWorker binds a worker to a stack.
+//
+// Deprecated: use New with WithConfig/WithMode; this remains as a thin
+// wrapper for existing callers.
+func NewWorker(rank int, stack *transport.Stack, cfg core.Config, mode Mode) (*Worker, error) {
+	return New(rank, stack, WithConfig(cfg), WithMode(mode))
+}
+
+// span records one completed collective phase for this worker, stamped in
+// simulated time with the rank as an attribute.
+func (w *Worker) span(name string, start, end netsim.Time) {
+	w.obs.RecordSpan(name, int64(start), int64(end),
+		obs.KV{K: "rank", V: strconv.Itoa(w.Rank)})
 }
 
 // Encoder exposes the worker's encoder (for size accounting in harnesses).
@@ -108,7 +165,7 @@ func (w *Worker) handlePayload(src netsim.NodeID, payload []byte) {
 	key := decKey{src, h.Message}
 	dec := w.decs[key]
 	if dec == nil {
-		d, err := core.NewDecoder(w.cfg, h.Message)
+		d, err := core.NewDecoderWith(h.Message, core.WithConfig(w.cfg), core.WithRegistry(w.obs))
 		if err != nil {
 			w.AggStats.RejectedPackets++
 			return

@@ -33,6 +33,7 @@ func AllReduceDirect(epoch uint64, baseMsg uint32, workers []*Worker,
 	for i, w := range workers {
 		ids[i] = w.Stack.Host().ID()
 	}
+	opStart := workers[0].Stack.Host().Sim().Now()
 	for i, w := range workers {
 		i, w := i, w
 		// Accumulate peers' gradients into a running sum seeded with our
@@ -64,6 +65,7 @@ func AllReduceDirect(epoch uint64, baseMsg uint32, workers []*Worker,
 			received++
 			if received == n-1 {
 				vecmath.Scale(sum, 1/float32(n))
+				w.span("collective.allreduce_direct", opStart, at)
 				if onDone != nil {
 					onDone(i, sum, at)
 				}
@@ -109,6 +111,7 @@ func AllGather(epoch uint64, baseMsg uint32, workers []*Worker,
 		ids[i] = w.Stack.Host().ID()
 		rankOf[ids[i]] = i
 	}
+	opStart := workers[0].Stack.Host().Sim().Now()
 	for i, w := range workers {
 		i, w := i, w
 		gathered := make([][]float32, n)
@@ -140,6 +143,7 @@ func AllGather(epoch uint64, baseMsg uint32, workers []*Worker,
 			gathered[srcRank] = dec
 			received++
 			if received == n-1 {
+				w.span("collective.allgather", opStart, at)
 				if onDone != nil {
 					onDone(i, gathered, at)
 				}
@@ -177,6 +181,7 @@ func Broadcast(epoch uint64, msg uint32, workers []*Worker, root int,
 		return fmt.Errorf("collective: bad root %d", root)
 	}
 	rootID := workers[root].Stack.Host().ID()
+	opStart := workers[root].Stack.Host().Sim().Now()
 	for i, w := range workers {
 		if i == root {
 			continue
@@ -203,6 +208,7 @@ func Broadcast(epoch uint64, msg uint32, workers []*Worker, root int,
 				return
 			}
 			got = true
+			w.span("collective.broadcast", opStart, at)
 			if onDone != nil {
 				onDone(i, dec, at)
 			}

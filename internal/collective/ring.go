@@ -44,6 +44,7 @@ func AllReduceRing(epoch uint64, baseMsg uint32, workers []*Worker,
 	for c := 0; c <= n; c++ {
 		off[c] = c * dim / n
 	}
+	opStart := workers[0].Stack.Host().Sim().Now()
 	for i := range workers {
 		rs := &ringState{
 			w:         workers[i],
@@ -56,6 +57,8 @@ func AllReduceRing(epoch uint64, baseMsg uint32, workers []*Worker,
 			completed: make(map[uint32]netsim.Time),
 			onDone:    onDone,
 			onError:   onError,
+			started:   opStart,
+			rsEnd:     opStart,
 		}
 		rs.leftID = workers[(i-1+n)%n].Stack.Host().ID()
 		rs.rightID = workers[(i+1)%n].Stack.Host().ID()
@@ -90,8 +93,12 @@ type ringState struct {
 	completed       map[uint32]netsim.Time
 	done            bool
 	failed          bool
-	onDone          func(rank int, avg []float32, at netsim.Time)
-	onError         func(rank int, err error)
+	// started/rsEnd delimit the phase spans: reduce-scatter runs from
+	// operation start to the step n-1 boundary, all-gather from there to
+	// completion.
+	started, rsEnd netsim.Time
+	onDone         func(rank int, avg []float32, at netsim.Time)
+	onError        func(rank int, err error)
 }
 
 func (rs *ringState) totalSteps() int { return 2*rs.n - 2 }
@@ -169,6 +176,10 @@ func (rs *ringState) advance() {
 			copy(dst, dec) // all-gather: adopt the reduced chunk
 		}
 		rs.step++
+		if rs.step == rs.n-1 {
+			rs.rsEnd = at
+			rs.w.span("collective.ring.reduce_scatter", rs.started, at)
+		}
 		if rs.step < rs.totalSteps() {
 			if rs.sendStep() != nil {
 				return
@@ -177,6 +188,7 @@ func (rs *ringState) advance() {
 		}
 		// Finished: average and report.
 		rs.done = true
+		rs.w.span("collective.ring.all_gather", rs.rsEnd, at)
 		vecmath.Scale(rs.acc, 1/float32(rs.n))
 		if rs.onDone != nil {
 			rs.onDone(rs.rank, rs.acc, at)

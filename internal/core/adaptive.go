@@ -1,6 +1,9 @@
 package core
 
-import "trimgrad/internal/wire"
+import (
+	"trimgrad/internal/obs"
+	"trimgrad/internal/wire"
+)
 
 // §5.3 Interacting with congestion control: the sender can adjust the
 // tail width Q ahead of time from coarse congestion feedback, while the
@@ -30,6 +33,12 @@ type AdaptiveQ struct {
 	Increase float64
 
 	q float64
+
+	// Congestion-signal source (see Bind/Update): the controller reads the
+	// receiver's coordinate counters from the shared registry instead of
+	// having per-message trim fractions threaded to it by hand.
+	reg                    *obs.Registry
+	lastTrimmed, lastTotal int64
 }
 
 // NewAdaptiveQ returns a controller spanning [8, 31] tail bits with a 5%
@@ -54,6 +63,34 @@ func (a *AdaptiveQ) Q() int {
 		q = a.Max
 	}
 	return q
+}
+
+// Bind points the controller at a telemetry registry whose decoders
+// report into "core.decode.*" (i.e. decoders built with WithRegistry on
+// the same registry). Subsequent Update calls derive the trim fraction
+// from counter deltas — the congestion signal flows through the registry,
+// not through hand-plumbed stats returns.
+func (a *AdaptiveQ) Bind(r *obs.Registry) {
+	a.reg = r
+	a.lastTrimmed = r.Counter("core.decode.coords_trimmed_total").Value()
+	a.lastTotal = r.Counter("core.decode.coords_total").Value()
+}
+
+// Update reads the coordinate counters accumulated since the previous
+// Update (or Bind) and feeds the resulting trim fraction to Observe.
+// A no-op when nothing was decoded in between, or when unbound.
+func (a *AdaptiveQ) Update() {
+	if a.reg == nil {
+		return
+	}
+	trimmed := a.reg.Counter("core.decode.coords_trimmed_total").Value()
+	total := a.reg.Counter("core.decode.coords_total").Value()
+	dTrimmed, dTotal := trimmed-a.lastTrimmed, total-a.lastTotal
+	a.lastTrimmed, a.lastTotal = trimmed, total
+	if dTotal <= 0 {
+		return
+	}
+	a.Observe(float64(dTrimmed) / float64(dTotal))
 }
 
 // Observe feeds back the decoder statistics of the previous message and

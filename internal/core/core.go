@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"trimgrad/internal/fwht"
+	"trimgrad/internal/obs"
 	"trimgrad/internal/quant"
 	"trimgrad/internal/wire"
 	"trimgrad/internal/xrand"
@@ -83,15 +84,63 @@ func RowSeed(epoch uint64, message, row uint32) uint64 {
 	return xrand.Seed(epoch, uint64(message), uint64(row))
 }
 
+// An Option configures an Encoder or Decoder at construction. The option
+// set replaces passing a bare Config: NewEncoderWith(WithParams(p),
+// WithRegistry(r)) composes configuration with telemetry without widening
+// the constructor signature again.
+type Option func(*options)
+
+type options struct {
+	cfg Config
+	reg *obs.Registry
+}
+
+// WithConfig sets the whole codec configuration at once.
+func WithConfig(cfg Config) Option { return func(o *options) { o.cfg = cfg } }
+
+// WithParams selects the quantization scheme.
+func WithParams(p quant.Params) Option { return func(o *options) { o.cfg.Params = p } }
+
+// WithRowSize sets the per-row coordinate count (a power of two).
+func WithRowSize(n int) Option { return func(o *options) { o.cfg.RowSize = n } }
+
+// WithFlow sets the sender id stamped into packet headers.
+func WithFlow(f uint32) Option { return func(o *options) { o.cfg.Flow = f } }
+
+// WithRegistry attaches a telemetry registry: encoders dual-write
+// "core.encode.*" counters, decoders "core.decode.*" counters plus the
+// packet-size histogram. Nil (the default) disables instrumentation.
+func WithRegistry(r *obs.Registry) Option { return func(o *options) { o.reg = r } }
+
+// encObs mirrors encode-side accounting into a registry.
+type encObs struct {
+	rows    *obs.Counter
+	packets *obs.Counter
+	bytes   *obs.Counter
+}
+
+func newEncObs(r *obs.Registry) encObs {
+	return encObs{
+		rows:    r.Counter("core.encode.rows_total"),
+		packets: r.Counter("core.encode.packets_total"),
+		bytes:   r.Counter("core.encode.bytes_total"),
+	}
+}
+
 // Encoder turns gradient tensors into trimmable packet streams.
 type Encoder struct {
 	cfg   Config
 	codec quant.Codec
+	obs   encObs
 }
 
-// NewEncoder builds an encoder for cfg.
-func NewEncoder(cfg Config) (*Encoder, error) {
-	cfg = cfg.withDefaults()
+// NewEncoderWith builds an encoder from options.
+func NewEncoderWith(opts ...Option) (*Encoder, error) {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	cfg := o.cfg.withDefaults()
 	if cfg.RowSize&(cfg.RowSize-1) != 0 || cfg.RowSize <= 0 {
 		return nil, fmt.Errorf("core: RowSize %d is not a power of two", cfg.RowSize)
 	}
@@ -99,7 +148,15 @@ func NewEncoder(cfg Config) (*Encoder, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Encoder{cfg: cfg, codec: codec}, nil
+	return &Encoder{cfg: cfg, codec: codec, obs: newEncObs(o.reg)}, nil
+}
+
+// NewEncoder builds an encoder for cfg.
+//
+// Deprecated: use NewEncoderWith; this remains as a thin wrapper for
+// existing callers.
+func NewEncoder(cfg Config) (*Encoder, error) {
+	return NewEncoderWith(WithConfig(cfg))
 }
 
 // Codec exposes the underlying quantizer (for benchmarks and diagnostics).
@@ -125,6 +182,9 @@ func (e *Encoder) Encode(epoch uint64, msgID uint32, grad []float32) (*Message, 
 		msg.Meta = append(msg.Meta, meta)
 		msg.Data = append(msg.Data, data...)
 	}
+	e.obs.rows.Add(int64(len(rows)))
+	e.obs.packets.Add(int64(len(msg.Meta) + len(msg.Data)))
+	e.obs.bytes.Add(int64(msg.DataBytes()))
 	return msg, nil
 }
 
@@ -175,6 +235,36 @@ func (s Stats) TrimFraction() float64 {
 	return float64(s.TrimmedCoords) / float64(s.TotalCoords)
 }
 
+// decObs mirrors decode-side accounting into a registry. Decoder names
+// are not per-instance: decoders are created per message, so per-instance
+// metrics would explode the namespace — all decoders of a registry share
+// one "core.decode.*" family.
+type decObs struct {
+	packets        *obs.Counter
+	trimmedPackets *obs.Counter
+	bytes          *obs.Counter
+	rejected       *obs.Counter
+	coords         *obs.Counter
+	coordsTrimmed  *obs.Counter
+	coordsDropped  *obs.Counter
+	expected       *obs.Counter
+	packetBytes    *obs.Histogram
+}
+
+func newDecObs(r *obs.Registry) decObs {
+	return decObs{
+		packets:        r.Counter("core.decode.packets_total"),
+		trimmedPackets: r.Counter("core.decode.trimmed_packets_total"),
+		bytes:          r.Counter("core.decode.bytes_total"),
+		rejected:       r.Counter("core.decode.rejected_total"),
+		coords:         r.Counter("core.decode.coords_total"),
+		coordsTrimmed:  r.Counter("core.decode.coords_trimmed_total"),
+		coordsDropped:  r.Counter("core.decode.coords_dropped_total"),
+		expected:       r.Counter("core.decode.expected_packets_total"),
+		packetBytes:    r.Histogram("core.decode.packet_bytes", obs.BucketsBytes()),
+	}
+}
+
 // Decoder reassembles and decodes one message's packet stream.
 // A Decoder instance handles a single message; create one per message.
 type Decoder struct {
@@ -186,6 +276,11 @@ type Decoder struct {
 	// metadata (reordering on the wire); they replay once the meta lands.
 	pending map[uint32][][]byte
 	stats   Stats
+	obs     decObs
+	// emitted remembers the coordinate-level stats already pushed to the
+	// registry so repeated Reconstruct calls (which recompute those fields
+	// from scratch) emit only the delta.
+	emitted Stats
 }
 
 // maxPendingPerRow bounds how many early data packets one row buffers
@@ -194,10 +289,14 @@ type Decoder struct {
 // metadata.
 const maxPendingPerRow = 256
 
-// NewDecoder builds a decoder for message msgID under cfg. cfg must match
-// the sender's.
-func NewDecoder(cfg Config, msgID uint32) (*Decoder, error) {
-	cfg = cfg.withDefaults()
+// NewDecoderWith builds a decoder for message msgID from options. The
+// configuration must match the sender's.
+func NewDecoderWith(msgID uint32, opts ...Option) (*Decoder, error) {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	cfg := o.cfg.withDefaults()
 	codec, err := quant.New(cfg.Params)
 	if err != nil {
 		return nil, err
@@ -208,7 +307,17 @@ func NewDecoder(cfg Config, msgID uint32) (*Decoder, error) {
 		msgID:   msgID,
 		rows:    make(map[uint32]*wire.RowAssembler),
 		pending: make(map[uint32][][]byte),
+		obs:     newDecObs(o.reg),
 	}, nil
+}
+
+// NewDecoder builds a decoder for message msgID under cfg. cfg must match
+// the sender's.
+//
+// Deprecated: use NewDecoderWith; this remains as a thin wrapper for
+// existing callers.
+func NewDecoder(cfg Config, msgID uint32) (*Decoder, error) {
+	return NewDecoderWith(msgID, WithConfig(cfg))
 }
 
 // Handle ingests one arrived packet (metadata or data, in any order).
@@ -217,6 +326,7 @@ func NewDecoder(cfg Config, msgID uint32) (*Decoder, error) {
 func (d *Decoder) Handle(pkt []byte) error {
 	if err := d.handle(pkt); err != nil {
 		d.stats.RejectedPackets++
+		d.obs.rejected.Inc()
 		return err
 	}
 	return nil
@@ -267,8 +377,12 @@ func (d *Decoder) addData(asm *wire.RowAssembler, pkt []byte, dp *wire.DataPacke
 	}
 	d.stats.Packets++
 	d.stats.BytesReceived += len(pkt)
+	d.obs.packets.Inc()
+	d.obs.bytes.Add(int64(len(pkt)))
+	d.obs.packetBytes.Observe(int64(len(pkt)))
 	if dp.Trimmed() {
 		d.stats.TrimmedPackets++
+		d.obs.trimmedPackets.Inc()
 	}
 	return nil
 }
@@ -287,10 +401,12 @@ func (d *Decoder) replayPending(row uint32, asm *wire.RowAssembler) {
 		dp, err := wire.ParseDataPacket(pkt)
 		if err != nil {
 			d.stats.RejectedPackets++
+			d.obs.rejected.Inc()
 			continue
 		}
 		if err := d.addData(asm, pkt, dp); err != nil {
 			d.stats.RejectedPackets++
+			d.obs.rejected.Inc()
 		}
 	}
 }
@@ -339,6 +455,13 @@ func (d *Decoder) Reconstruct(n int) ([]float32, Stats, error) {
 		}
 		out = append(out, dec...)
 	}
+	// Coordinate-level fields were recomputed from scratch above; push only
+	// what this call added beyond what earlier Reconstructs emitted.
+	d.obs.coords.Add(int64(d.stats.TotalCoords - d.emitted.TotalCoords))
+	d.obs.coordsTrimmed.Add(int64(d.stats.TrimmedCoords - d.emitted.TrimmedCoords))
+	d.obs.coordsDropped.Add(int64(d.stats.DroppedCoords - d.emitted.DroppedCoords))
+	d.obs.expected.Add(int64(d.stats.ExpectedPackets - d.emitted.ExpectedPackets))
+	d.emitted = d.stats
 	return out[:n], d.stats, nil
 }
 

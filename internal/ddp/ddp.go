@@ -22,6 +22,7 @@ import (
 
 	"trimgrad/internal/core"
 	"trimgrad/internal/ml"
+	"trimgrad/internal/obs"
 	"trimgrad/internal/quant"
 	"trimgrad/internal/sparse"
 	"trimgrad/internal/vecmath"
@@ -213,6 +214,37 @@ func (r *Result) TimeToAccuracy(target float64) (float64, bool) {
 	return 0, false
 }
 
+// An Option configures a Trainer or NetTrainer at construction.
+type Option func(*trainerOpts)
+
+type trainerOpts struct {
+	cfg    Config
+	hidden []int
+	reg    *obs.Registry
+	fabric FabricConfig
+}
+
+// WithConfig sets the training configuration.
+func WithConfig(cfg Config) Option { return func(o *trainerOpts) { o.cfg = cfg } }
+
+// WithHidden sets the MLP hidden-layer sizes.
+func WithHidden(sizes ...int) Option { return func(o *trainerOpts) { o.hidden = sizes } }
+
+// WithRegistry attaches a telemetry registry: the trainer records
+// per-round ddp.round.compute / ddp.round.encode / ddp.round.comm spans
+// (the Figure 5 breakdown), and — for NewNetTrainer — the registry is
+// bound to the fabric so every layer underneath reports into it too.
+//
+// Clock domains: ddp spans are stamped on the trainer's modeled wall
+// clock (nanoseconds of simulated training time), while fabric-level
+// spans and metrics in the same registry use netsim virtual time. Both
+// are deterministic; they are just different time axes.
+func WithRegistry(r *obs.Registry) Option { return func(o *trainerOpts) { o.reg = r } }
+
+// WithFabric sets the simulated network under a NetTrainer (ignored by
+// NewTrainer).
+func WithFabric(f FabricConfig) Option { return func(o *trainerOpts) { o.fabric = f } }
+
 // Trainer runs one configuration on a dataset.
 type Trainer struct {
 	cfg   Config
@@ -222,24 +254,30 @@ type Trainer struct {
 	enc   *core.Encoder
 	inj   core.Injector
 	efs   []*sparse.ErrorFeedback
+	obs   *obs.Registry
 }
 
-// New builds a trainer. The model is created internally (MLP sized to the
-// dataset) so that every configuration starts from identical weights.
-func New(cfg Config, train, test *ml.Dataset, hidden ...int) (*Trainer, error) {
-	cfg = cfg.withDefaults()
+// NewTrainer builds a trainer from options. The model is created
+// internally (MLP sized to the dataset) so that every configuration
+// starts from identical weights.
+func NewTrainer(train, test *ml.Dataset, opts ...Option) (*Trainer, error) {
+	var o trainerOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	cfg := o.cfg.withDefaults()
 	if train.Len() == 0 {
 		return nil, errors.New("ddp: empty training set")
 	}
-	sizes := append([]int{train.Dim}, hidden...)
+	sizes := append([]int{train.Dim}, o.hidden...)
 	sizes = append(sizes, train.Classes)
 	model := ml.NewMLP(cfg.Seed, sizes...)
 
-	t := &Trainer{cfg: cfg, model: model, train: train, test: test}
+	t := &Trainer{cfg: cfg, model: model, train: train, test: test, obs: o.reg}
 	if cfg.Scheme != nil {
-		enc, err := core.NewEncoder(core.Config{
+		enc, err := core.NewEncoderWith(core.WithConfig(core.Config{
 			Params: *cfg.Scheme, RowSize: cfg.RowSize,
-		})
+		}), core.WithRegistry(o.reg))
 		if err != nil {
 			return nil, err
 		}
@@ -256,6 +294,33 @@ func New(cfg Config, train, test *ml.Dataset, hidden ...int) (*Trainer, error) {
 		}
 	}
 	return t, nil
+}
+
+// New builds a trainer.
+//
+// Deprecated: use NewTrainer with WithConfig/WithHidden; this remains as
+// a thin wrapper for existing callers.
+func New(cfg Config, train, test *ml.Dataset, hidden ...int) (*Trainer, error) {
+	return NewTrainer(train, test, WithConfig(cfg), WithHidden(hidden...))
+}
+
+// roundSpans records the per-round phase spans on r: compute, then
+// encode, then comm, laid end to end from wallStart. All arguments are
+// seconds on the trainer's modeled wall clock; spans are stamped in
+// nanoseconds of that clock.
+func roundSpans(r *obs.Registry, scheme string, wallStart, compute, encode, comm float64) {
+	if r == nil {
+		return
+	}
+	ns := func(sec float64) int64 { return int64(sec * 1e9) }
+	t0 := ns(wallStart)
+	t1 := ns(wallStart + compute)
+	t2 := ns(wallStart + compute + encode)
+	t3 := ns(wallStart + compute + encode + comm)
+	attr := obs.KV{K: "scheme", V: scheme}
+	r.RecordSpan("ddp.round.compute", t0, t1, attr)
+	r.RecordSpan("ddp.round.encode", t1, t2, attr)
+	r.RecordSpan("ddp.round.comm", t2, t3, attr)
 }
 
 // Model exposes the trained model (for FSDP and inspection).
@@ -277,6 +342,8 @@ func (t *Trainer) Run() (*Result, error) {
 	opt := ml.NewSGD(cfg.LR, cfg.Momentum)
 	sched := ml.NewStepLR(opt, cfg.StepSize, cfg.Gamma)
 	roundTime := cfg.Cost.RoundTime(cfg.Scheme, cfg.DropRate)
+	encodeTime := cfg.Cost.EncodeTime(cfg.Scheme)
+	schemeName := cfg.SchemeName()
 
 	wall := 0.0
 	msgID := uint32(1)
@@ -335,6 +402,8 @@ func (t *Trainer) Run() (*Result, error) {
 			}
 			vecmath.Scale(avg, 1/float32(cfg.Workers))
 			opt.Step(t.model.Params(), avg)
+			roundSpans(t.obs, schemeName, wall,
+				cfg.Cost.Compute, encodeTime, roundTime-cfg.Cost.Compute-encodeTime)
 			wall += roundTime
 
 			if !allFinite(t.model.Params()) {

@@ -9,6 +9,7 @@ import (
 	"trimgrad/internal/core"
 	"trimgrad/internal/ml"
 	"trimgrad/internal/netsim"
+	"trimgrad/internal/obs"
 	"trimgrad/internal/transport"
 	"trimgrad/internal/vecmath"
 )
@@ -30,6 +31,7 @@ type NetTrainer struct {
 	sim     *netsim.Sim
 	workers []*collective.Worker
 	cross   []*netsim.CrossTraffic
+	obs     *obs.Registry
 
 	lastTrimmed, lastTotal int
 }
@@ -67,18 +69,24 @@ func (f FabricConfig) withDefaults() FabricConfig {
 	return f
 }
 
-// NewNetworked builds a closed-loop trainer: cfg.Workers hosts around one
-// switch, plus one cross-traffic host when CrossRate > 0.
-func NewNetworked(cfg Config, fabric FabricConfig, train, test *ml.Dataset, hidden ...int) (*NetTrainer, error) {
-	cfg = cfg.withDefaults()
-	fabric = fabric.withDefaults()
+// NewNetTrainer builds a closed-loop trainer from options: cfg.Workers
+// hosts around one switch, plus one cross-traffic host when CrossRate >
+// 0. A registry passed via WithRegistry is bound to the fabric, so ports,
+// transports, the collective layer, and the codec all report into it.
+func NewNetTrainer(train, test *ml.Dataset, opts ...Option) (*NetTrainer, error) {
+	var o trainerOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	cfg := o.cfg.withDefaults()
+	fabric := o.fabric.withDefaults()
 	if train.Len() == 0 {
 		return nil, errors.New("ddp: empty training set")
 	}
 	if cfg.Scheme == nil {
 		return nil, errors.New("ddp: networked training needs an encoding scheme (wire format)")
 	}
-	sizes := append([]int{train.Dim}, hidden...)
+	sizes := append([]int{train.Dim}, o.hidden...)
 	sizes = append(sizes, train.Classes)
 
 	nt := &NetTrainer{
@@ -88,18 +96,20 @@ func NewNetworked(cfg Config, fabric FabricConfig, train, test *ml.Dataset, hidd
 		train:  train,
 		test:   test,
 		sim:    netsim.NewSim(),
+		obs:    o.reg,
 	}
 	nHosts := cfg.Workers
 	if fabric.CrossRate > 0 {
 		nHosts++
 	}
-	star := netsim.BuildStar(nt.sim, nHosts, fabric.Link, fabric.Queue)
+	star := netsim.BuildStar(nt.sim, nHosts, fabric.Link, fabric.Queue,
+		netsim.WithRegistry(o.reg))
 	for i := 0; i < cfg.Workers; i++ {
-		stack := transport.NewStack(star.Hosts[i], transport.Config{})
-		w, err := collective.NewWorker(i, stack, core.Config{
+		stack := transport.New(star.Hosts[i])
+		w, err := collective.New(i, stack, collective.WithConfig(core.Config{
 			Params:  *cfg.Scheme,
 			RowSize: cfg.RowSize,
-		}, fabric.Mode)
+		}), collective.WithMode(fabric.Mode))
 		if err != nil {
 			return nil, err
 		}
@@ -121,6 +131,15 @@ func NewNetworked(cfg Config, fabric FabricConfig, train, test *ml.Dataset, hidd
 	return nt, nil
 }
 
+// NewNetworked builds a closed-loop trainer.
+//
+// Deprecated: use NewNetTrainer with WithConfig/WithFabric/WithHidden;
+// this remains as a thin wrapper for existing callers.
+func NewNetworked(cfg Config, fabric FabricConfig, train, test *ml.Dataset, hidden ...int) (*NetTrainer, error) {
+	return NewNetTrainer(train, test,
+		WithConfig(cfg), WithFabric(fabric), WithHidden(hidden...))
+}
+
 // Model exposes the trained model.
 func (t *NetTrainer) Model() *ml.Model { return t.model }
 
@@ -133,7 +152,9 @@ func (t *NetTrainer) Run() (*Result, error) {
 	shards := t.train.Shard(cfg.Workers)
 	opt := ml.NewSGD(cfg.LR, cfg.Momentum)
 	sched := ml.NewStepLR(opt, cfg.StepSize, cfg.Gamma)
-	computeTime := cfg.Cost.Compute + cfg.Cost.EncodeTime(cfg.Scheme)
+	encodeTime := cfg.Cost.EncodeTime(cfg.Scheme)
+	computeTime := cfg.Cost.Compute + encodeTime
+	schemeName := cfg.SchemeName()
 
 	wall := 0.0
 	msgBase := uint32(1)
@@ -171,6 +192,8 @@ func (t *NetTrainer) Run() (*Result, error) {
 			}
 			msgBase += uint32(cfg.Workers)
 			opt.Step(t.model.Params(), avg)
+			roundSpans(t.obs, schemeName, wall,
+				cfg.Cost.Compute, encodeTime, commSecs)
 			wall += computeTime + commSecs
 
 			tr, to := t.statsDelta()

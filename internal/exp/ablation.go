@@ -7,6 +7,7 @@ import (
 	"trimgrad/internal/core"
 	"trimgrad/internal/ddp"
 	"trimgrad/internal/ml"
+	"trimgrad/internal/obs"
 	"trimgrad/internal/quant"
 	"trimgrad/internal/vecmath"
 	"trimgrad/internal/xrand"
@@ -53,12 +54,19 @@ func runAdaptive(w io.Writer, o Options) error {
 		name string
 		q    func() int
 		ctrl *core.AdaptiveQ
+		reg  *obs.Registry
 	}
+	// The adaptive sender's congestion signal flows through a telemetry
+	// registry: its decoders report coordinate counters into areg, and the
+	// controller derives each round's trim fraction from the counter deltas
+	// (AdaptiveQ.Bind/Update) instead of hand-plumbed stats.
+	areg := obs.New()
 	adaptive := core.NewAdaptiveQ()
+	adaptive.Bind(areg)
 	senders := []sender{
-		{"static Q=31", func() int { return 31 }, nil},
-		{"static Q=12", func() int { return 12 }, nil},
-		{"adaptive", adaptive.Q, adaptive},
+		{"static Q=31", func() int { return 31 }, nil, nil},
+		{"static Q=12", func() int { return 12 }, nil, nil},
+		{"adaptive", adaptive.Q, adaptive, areg},
 	}
 
 	t := NewTable("§5.3 — Ahead-of-time Q adaptation under varying capacity",
@@ -81,7 +89,7 @@ func runAdaptive(w io.Writer, o Options) error {
 				if err != nil {
 					return err
 				}
-				dec, err := core.NewDecoder(cfg, 1)
+				dec, err := core.NewDecoderWith(1, core.WithConfig(cfg), core.WithRegistry(s.reg))
 				if err != nil {
 					return err
 				}
@@ -106,7 +114,10 @@ func runAdaptive(w io.Writer, o Options) error {
 				lastTrim = stats.TrimFraction()
 				lastSent = float64(msg.DataBytes()) / float64(fullBytes)
 				if s.ctrl != nil {
-					s.ctrl.Observe(lastTrim)
+					// Reconstruct just emitted this round's coordinate
+					// counters into the bound registry; Update turns the
+					// delta into the feedback Observe used to get by hand.
+					s.ctrl.Update()
 				}
 			}
 			t.Add(ph.name, s.name, s.q(), lastSent, lastTrim, lastNMSE)

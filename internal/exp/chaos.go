@@ -59,9 +59,13 @@ func runChaos(w io.Writer, o Options) error {
 			if trimmable {
 				qmode = netsim.TrimOverflow
 			}
+			// o.Obs (possibly nil: obs instruments are nil-safe) collects
+			// per-port, transport, and codec telemetry across every cell;
+			// the determinism regression test diffs two same-seed exports.
 			star := netsim.BuildStar(sim, 2,
 				netsim.LinkConfig{Bandwidth: netsim.Gbps(10), Delay: 5 * netsim.Microsecond},
-				netsim.QueueConfig{CapacityBytes: 1 << 20, HighCapacityBytes: 1 << 20, Mode: qmode})
+				netsim.QueueConfig{CapacityBytes: 1 << 20, HighCapacityBytes: 1 << 20, Mode: qmode},
+				netsim.WithRegistry(o.Obs))
 			faults := sc.faults
 			faults.Seed = 23 + o.Seed
 			star.Net.InjectFaults(0, netsim.SwitchIDBase, faults)
@@ -69,10 +73,11 @@ func runChaos(w io.Writer, o Options) error {
 				star.Net.FlapLink(0, netsim.SwitchIDBase, 500*netsim.Microsecond, 2*netsim.Millisecond)
 			}
 			cfg := transport.Config{RTO: 200 * netsim.Microsecond, MaxRetries: 30}
-			a := transport.NewStack(star.Hosts[0], cfg)
-			b := transport.NewStack(star.Hosts[1], cfg)
+			a := transport.New(star.Hosts[0], transport.WithConfig(cfg))
+			b := transport.New(star.Hosts[1], transport.WithConfig(cfg))
 
-			enc, err := core.NewEncoder(core.Config{Params: quant.Params{Scheme: quant.RHT}, RowSize: 1 << 10})
+			ccfg := core.Config{Params: quant.Params{Scheme: quant.RHT}, RowSize: 1 << 10}
+			enc, err := core.NewEncoderWith(core.WithConfig(ccfg), core.WithRegistry(o.Obs))
 			if err != nil {
 				return err
 			}
@@ -80,7 +85,7 @@ func runChaos(w io.Writer, o Options) error {
 			if err != nil {
 				return err
 			}
-			dec, err := core.NewDecoder(core.Config{Params: quant.Params{Scheme: quant.RHT}, RowSize: 1 << 10}, 1)
+			dec, err := core.NewDecoderWith(1, core.WithConfig(ccfg), core.WithRegistry(o.Obs))
 			if err != nil {
 				return err
 			}

@@ -10,6 +10,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"trimgrad/internal/obs"
 )
 
 // Table is a simple aligned-text / CSV table.
@@ -118,6 +120,12 @@ type Options struct {
 	Seed uint64
 	// CSV switches output to CSV.
 	CSV bool
+	// Obs, when non-nil, collects every metric and span the experiment's
+	// instrumented layers emit; runners that build their own fabric or
+	// trainer bind it through the usual WithRegistry options. Nil keeps
+	// telemetry off (runners may still use a private registry internally,
+	// e.g. fig5 derives its breakdown from spans).
+	Obs *obs.Registry
 }
 
 // Runner executes one named experiment.

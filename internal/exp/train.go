@@ -8,6 +8,7 @@ import (
 	"trimgrad/internal/ddp"
 	"trimgrad/internal/fwht"
 	"trimgrad/internal/ml"
+	"trimgrad/internal/obs"
 	"trimgrad/internal/quant"
 	"trimgrad/internal/xrand"
 )
@@ -169,19 +170,63 @@ func runFig4(w io.Writer, o Options) error {
 }
 
 // runFig5 regenerates Figure 5: per-round time breakdown (compute /
-// encode / communicate) per scheme, from the calibrated cost model, plus
-// real measured per-coordinate encode/decode costs from this machine so
-// the relative ordering (RHT ≈ 1.18× scalar) is verified, not assumed.
+// encode / communicate) per scheme. The breakdown is a span query: a
+// small training run per scheme records ddp.round.{compute,encode,comm}
+// spans into one registry, and each table cell is the per-round average
+// of those spans — the figure is derived from the telemetry the trainer
+// actually emits, not recomputed from the cost model by hand. A measured
+// companion table adds real per-coordinate encode/decode costs from this
+// machine so the relative ordering (RHT ≈ 1.18× scalar) is verified, not
+// assumed.
 func runFig5(w io.Writer, o Options) error {
-	cm := ddp.DefaultCostModel()
-	t := NewTable("Figure 5 — Per-round time breakdown (simulated seconds)",
-		"scheme", "compute_s", "encode_s", "comm_s", "round_s", "vs_baseline")
-	baseRound := cm.RoundTime(nil, 0)
+	r := o.Obs
+	if r == nil {
+		r = obs.New()
+	}
+	train, test := ml.Synthetic(ml.SyntheticConfig{
+		Classes: 4, Dim: 16, Train: 256, Test: 64,
+		Noise: 1.0, Spread: 2.0, Seed: 42 + o.Seed,
+	})
 	for _, sc := range figSchemes {
-		enc := cm.EncodeTime(sc.params)
-		round := cm.RoundTime(sc.params, 0)
-		t.Add(sc.name, cm.Compute, enc, cm.Comm, round,
-			fmt.Sprintf("%.2fx", round/baseRound))
+		tr, err := ddp.NewTrainer(train, test,
+			ddp.WithConfig(ddp.Config{
+				Workers: 2, Epochs: 1, Seed: 1 + o.Seed, LR: 0.05,
+				Scheme: sc.params, RowSize: 1 << 12,
+			}),
+			ddp.WithHidden(8),
+			ddp.WithRegistry(r))
+		if err != nil {
+			return err
+		}
+		if _, err := tr.Run(); err != nil {
+			return err
+		}
+	}
+	snap := r.Snapshot()
+	t := NewTable("Figure 5 — Per-round time breakdown (simulated seconds, from ddp.round.* spans)",
+		"scheme", "compute_s", "encode_s", "comm_s", "round_s", "vs_baseline")
+	var baseRound float64
+	for _, sc := range figSchemes {
+		attr := obs.KV{K: "scheme", V: sc.name}
+		perRound := func(span string) float64 {
+			total, n := snap.SpanSum(span, attr)
+			if n == 0 {
+				return 0
+			}
+			return float64(total) / float64(n) / 1e9
+		}
+		compute := perRound("ddp.round.compute")
+		encode := perRound("ddp.round.encode")
+		comm := perRound("ddp.round.comm")
+		round := compute + encode + comm
+		if sc.name == "baseline" {
+			baseRound = round
+		}
+		rel := "-"
+		if baseRound > 0 {
+			rel = fmt.Sprintf("%.2fx", round/baseRound)
+		}
+		t.Add(sc.name, compute, encode, comm, round, rel)
 	}
 	if err := emit(w, o, t); err != nil {
 		return err

@@ -3,6 +3,7 @@ package netsim
 import (
 	"fmt"
 
+	"trimgrad/internal/obs"
 	"trimgrad/internal/xrand"
 )
 
@@ -58,11 +59,33 @@ func (c FaultConfig) enabled() bool {
 }
 
 // FaultStats counts what a FaultInjector actually did.
+//
+// Deprecated: read the "netsim.fault.<from>-><to>.*" counters from the
+// telemetry registry; this remains as a thin view for existing callers.
 type FaultStats struct {
 	Corrupted    int
 	Duplicated   int
 	Reordered    int
 	BurstDropped int
+}
+
+// faultObs mirrors FaultStats into the registry, one counter family per
+// faulted link direction.
+type faultObs struct {
+	corrupted    *obs.Counter
+	duplicated   *obs.Counter
+	reordered    *obs.Counter
+	burstDropped *obs.Counter
+}
+
+func newFaultObs(r *obs.Registry, from, to NodeID) faultObs {
+	prefix := fmt.Sprintf("netsim.fault.%d->%d.", from, to)
+	return faultObs{
+		corrupted:    r.Counter(prefix + "corrupted_total"),
+		duplicated:   r.Counter(prefix + "duplicated_total"),
+		reordered:    r.Counter(prefix + "reordered_total"),
+		burstDropped: r.Counter(prefix + "burst_dropped_total"),
+	}
 }
 
 // FaultInjector applies a FaultConfig to packets entering one port. It is
@@ -76,6 +99,7 @@ type FaultInjector struct {
 	rng   *xrand.Rand
 	bad   bool // Gilbert-Elliott channel state
 	Stats FaultStats
+	obs   faultObs
 }
 
 func newFaultInjector(sim *Sim, cfg FaultConfig, streamID ...uint64) *FaultInjector {
@@ -90,10 +114,12 @@ func newFaultInjector(sim *Sim, cfg FaultConfig, streamID ...uint64) *FaultInjec
 func (f *FaultInjector) apply(pkt *Packet, admit func(*Packet)) {
 	if f.dropBurst() {
 		f.Stats.BurstDropped++
+		f.obs.burstDropped.Inc()
 		return
 	}
 	if f.cfg.DuplicateRate > 0 && f.rng.Float64() < f.cfg.DuplicateRate {
 		f.Stats.Duplicated++
+		f.obs.duplicated.Inc()
 		admit(pkt.Clone())
 	}
 	if f.cfg.CorruptRate > 0 && len(pkt.Payload) > 0 && f.rng.Float64() < f.cfg.CorruptRate {
@@ -101,6 +127,7 @@ func (f *FaultInjector) apply(pkt *Packet, admit func(*Packet)) {
 	}
 	if f.cfg.ReorderRate > 0 && f.rng.Float64() < f.cfg.ReorderRate {
 		f.Stats.Reordered++
+		f.obs.reordered.Inc()
 		delay := f.cfg.ReorderDelay
 		if delay <= 0 {
 			delay = 10 * Microsecond
@@ -145,6 +172,7 @@ func (f *FaultInjector) corrupt(pkt *Packet) *Packet {
 		c.Payload[pos/8] ^= 1 << uint(pos%8)
 	}
 	f.Stats.Corrupted++
+	f.obs.corrupted.Inc()
 	return c
 }
 
@@ -156,6 +184,7 @@ func (p *Port) SetFaults(cfg FaultConfig, streamID ...uint64) *FaultInjector {
 		return nil
 	}
 	p.faults = newFaultInjector(p.sim, cfg, streamID...)
+	p.faults.obs = newFaultObs(p.sim.obs, p.owner, p.peer.ID())
 	return p.faults
 }
 

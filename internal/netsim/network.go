@@ -3,6 +3,7 @@ package netsim
 import (
 	"fmt"
 
+	"trimgrad/internal/obs"
 	"trimgrad/internal/xrand"
 )
 
@@ -85,9 +86,25 @@ type Network struct {
 	nodes map[NodeID]Node
 }
 
+// Option configures a Network at construction.
+type Option func(*Network)
+
+// WithRegistry attaches a telemetry registry to the network's simulator.
+// Every port created afterwards dual-writes its PortStats into the
+// registry (metric prefix "netsim.port.<owner>-><peer>."), and the
+// registry's clock is rebound to simulated time so spans recorded by any
+// layer above the fabric are stamped deterministically.
+func WithRegistry(r *obs.Registry) Option {
+	return func(n *Network) { n.Sim.setObs(r) }
+}
+
 // NewNetwork returns an empty network driven by sim.
-func NewNetwork(sim *Sim) *Network {
-	return &Network{Sim: sim, nodes: make(map[NodeID]Node)}
+func NewNetwork(sim *Sim, opts ...Option) *Network {
+	n := &Network{Sim: sim, nodes: make(map[NodeID]Node)}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
 }
 
 // Node returns the node with the given id, or nil.
@@ -145,10 +162,40 @@ type PortStats struct {
 	DownDrops int
 }
 
+// portObs mirrors PortStats into the simulator's telemetry registry. The
+// instruments are nil (free no-ops) when no registry is attached, so the
+// fast path pays one nil check per event. PortStats stays authoritative;
+// these counters are the exported view of the same events.
+type portObs struct {
+	enqueued     *obs.Counter
+	transmitted  *obs.Counter
+	dropped      *obs.Counter
+	droppedBytes *obs.Counter
+	trimmed      *obs.Counter
+	ecnMarked    *obs.Counter
+	downDrops    *obs.Counter
+	queueDepth   *obs.Histogram
+}
+
+func newPortObs(r *obs.Registry, owner, peer NodeID) portObs {
+	prefix := fmt.Sprintf("netsim.port.%d->%d.", owner, peer)
+	return portObs{
+		enqueued:     r.Counter(prefix + "enqueued_total"),
+		transmitted:  r.Counter(prefix + "transmitted_total"),
+		dropped:      r.Counter(prefix + "dropped_total"),
+		droppedBytes: r.Counter(prefix + "dropped_bytes_total"),
+		trimmed:      r.Counter(prefix + "trimmed_total"),
+		ecnMarked:    r.Counter(prefix + "ecn_marked_total"),
+		downDrops:    r.Counter(prefix + "down_drops_total"),
+		queueDepth:   r.Histogram(prefix+"queue_depth_bytes", obs.BucketsBytes()),
+	}
+}
+
 // Port is one output port: a two-priority byte-bounded queue feeding a
 // transmitter with finite bandwidth and propagation delay.
 type Port struct {
 	sim     *Sim
+	owner   NodeID
 	peer    Node
 	link    LinkConfig
 	cfg     QueueConfig
@@ -159,16 +206,18 @@ type Port struct {
 	faults  *FaultInjector
 	down    bool
 	Stats   PortStats
+	obs     portObs
 }
 
-func newPort(sim *Sim, peer Node, link LinkConfig, cfg QueueConfig) *Port {
+func newPort(sim *Sim, owner NodeID, peer Node, link LinkConfig, cfg QueueConfig) *Port {
 	if link.Bandwidth <= 0 {
 		panic("netsim: link bandwidth must be positive")
 	}
-	p := &Port{sim: sim, peer: peer, link: link, cfg: cfg.withDefaults()}
+	p := &Port{sim: sim, owner: owner, peer: peer, link: link, cfg: cfg.withDefaults()}
 	if p.cfg.LossRate > 0 {
 		p.lossRNG = xrand.New(xrand.Seed(p.cfg.LossSeed, uint64(peer.ID())))
 	}
+	p.obs = newPortObs(sim.obs, owner, peer.ID())
 	return p
 }
 
@@ -182,6 +231,7 @@ func (p *Port) QueuedBytes() int { return p.bytes[PrioNormal] + p.bytes[PrioHigh
 func (p *Port) Enqueue(pkt *Packet) {
 	if p.down {
 		p.Stats.DownDrops++
+		p.obs.downDrops.Inc()
 		return
 	}
 	if p.faults != nil {
@@ -195,16 +245,20 @@ func (p *Port) admit(pkt *Packet) {
 	if p.down {
 		// A reordered packet can surface after a flap began.
 		p.Stats.DownDrops++
+		p.obs.downDrops.Inc()
 		return
 	}
 	if p.lossRNG != nil && p.lossRNG.Float64() < p.cfg.LossRate {
 		p.Stats.Dropped++
 		p.Stats.DroppedBytes += pkt.Size
+		p.obs.dropped.Inc()
+		p.obs.droppedBytes.Add(int64(pkt.Size))
 		return
 	}
 	if p.cfg.ECNThresholdBytes > 0 && p.bytes[PrioNormal] >= p.cfg.ECNThresholdBytes {
 		pkt.ECE = true
 		p.Stats.ECNMarked++
+		p.obs.ecnMarked.Inc()
 	}
 	cap := p.cfg.CapacityBytes
 	if pkt.Prio == PrioHigh {
@@ -215,6 +269,7 @@ func (p *Port) admit(pkt *Packet) {
 		if p.cfg.Mode == TrimOverflow && pkt.Prio == PrioNormal && pkt.Trimmable() {
 			if pkt.TrimTo(p.cfg.TrimTarget) {
 				p.Stats.Trimmed++
+				p.obs.trimmed.Inc()
 				if p.bytes[PrioHigh]+pkt.Size <= p.cfg.HighCapacityBytes {
 					p.push(pkt)
 					return
@@ -223,6 +278,8 @@ func (p *Port) admit(pkt *Packet) {
 		}
 		p.Stats.Dropped++
 		p.Stats.DroppedBytes += pkt.Size
+		p.obs.dropped.Inc()
+		p.obs.droppedBytes.Add(int64(pkt.Size))
 		return
 	}
 	p.push(pkt)
@@ -232,9 +289,12 @@ func (p *Port) push(pkt *Packet) {
 	p.q[pkt.Prio] = append(p.q[pkt.Prio], pkt)
 	p.bytes[pkt.Prio] += pkt.Size
 	p.Stats.Enqueued++
-	if depth := p.QueuedBytes(); depth > p.Stats.MaxQueueBytes {
+	p.obs.enqueued.Inc()
+	depth := p.QueuedBytes()
+	if depth > p.Stats.MaxQueueBytes {
 		p.Stats.MaxQueueBytes = depth
 	}
+	p.obs.queueDepth.Observe(int64(depth))
 	if !p.busy {
 		p.transmitNext()
 	}
@@ -258,6 +318,7 @@ func (p *Port) transmitNext() {
 	tx := Time(int64(pkt.Size) * 8 * int64(Second) / p.link.Bandwidth)
 	p.sim.After(tx, func() {
 		p.Stats.Transmitted++
+		p.obs.transmitted.Inc()
 		// Propagation overlaps with the next serialization.
 		arrival := p.link.Delay
 		peer := p.peer
@@ -281,7 +342,7 @@ type Switch struct {
 func (s *Switch) ID() NodeID { return s.id }
 
 func (s *Switch) attach(peer Node, link LinkConfig) {
-	s.ports[peer.ID()] = newPort(s.sim, peer, link, s.cfg)
+	s.ports[peer.ID()] = newPort(s.sim, s.id, peer, link, s.cfg)
 	// A directly-connected peer routes to itself by default.
 	s.routes[peer.ID()] = peer.ID()
 }
@@ -336,7 +397,7 @@ func (h *Host) attach(peer Node, link LinkConfig) {
 	if h.uplink != nil {
 		panic(fmt.Sprintf("netsim: host %d already attached", h.id))
 	}
-	h.uplink = newPort(h.sim, peer, link, hostQueue)
+	h.uplink = newPort(h.sim, h.id, peer, link, hostQueue)
 }
 
 func (h *Host) portTo(peer NodeID) *Port {

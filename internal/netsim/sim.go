@@ -20,6 +20,8 @@ import (
 	"container/heap"
 	"fmt"
 	"time"
+
+	"trimgrad/internal/obs"
 )
 
 // Time is simulated time in nanoseconds since simulation start.
@@ -74,6 +76,7 @@ type Sim struct {
 	seq     uint64
 	queue   eventQueue
 	stopped bool
+	obs     *obs.Registry
 	// Processed counts executed events (useful in tests and as a runaway
 	// guard).
 	Processed uint64
@@ -81,6 +84,20 @@ type Sim struct {
 
 // NewSim returns an empty simulator at time zero.
 func NewSim() *Sim { return &Sim{} }
+
+// setObs binds a telemetry registry to this simulator. The registry's
+// clock becomes the virtual clock, so every span and timestamp recorded
+// by fabric components is stamped in simulated nanoseconds — identical
+// across same-seed runs.
+func (s *Sim) setObs(r *obs.Registry) {
+	s.obs = r
+	r.SetClock(func() int64 { return int64(s.now) })
+}
+
+// Obs returns the registry bound to this simulator (nil — the no-op
+// registry — when none was attached). Transports and collectives built on
+// top of the fabric inherit it by default.
+func (s *Sim) Obs() *obs.Registry { return s.obs }
 
 // Now returns the current simulated time.
 func (s *Sim) Now() Time { return s.now }

@@ -15,9 +15,10 @@ type Star struct {
 	Hosts  []*Host
 }
 
-// BuildStar creates a star of n hosts around one switch.
-func BuildStar(sim *Sim, n int, link LinkConfig, q QueueConfig) *Star {
-	net := NewNetwork(sim)
+// BuildStar creates a star of n hosts around one switch. Options (e.g.
+// WithRegistry) apply to the underlying Network before any port exists.
+func BuildStar(sim *Sim, n int, link LinkConfig, q QueueConfig, opts ...Option) *Star {
+	net := NewNetwork(sim, opts...)
 	sw := net.AddSwitch(SwitchIDBase, q)
 	s := &Star{Net: net, Switch: sw}
 	for i := 0; i < n; i++ {
@@ -42,8 +43,8 @@ type Dumbbell struct {
 // BuildDumbbell creates nLeft+nRight hosts around two switches joined by a
 // bottleneck link. Edge links use edge config; the inter-switch link uses
 // bottleneck config.
-func BuildDumbbell(sim *Sim, nLeft, nRight int, edge, bottleneck LinkConfig, q QueueConfig) *Dumbbell {
-	net := NewNetwork(sim)
+func BuildDumbbell(sim *Sim, nLeft, nRight int, edge, bottleneck LinkConfig, q QueueConfig, opts ...Option) *Dumbbell {
+	net := NewNetwork(sim, opts...)
 	left := net.AddSwitch(SwitchIDBase, q)
 	right := net.AddSwitch(SwitchIDBase+1, q)
 	net.Connect(left.ID(), right.ID(), bottleneck)
@@ -80,11 +81,11 @@ type Ring struct {
 // BuildRing creates the ring with edge links host↔switch and trunk links
 // between consecutive switches. Routing follows the shorter arc;
 // ties go clockwise.
-func BuildRing(sim *Sim, n int, edge, trunk LinkConfig, q QueueConfig) *Ring {
+func BuildRing(sim *Sim, n int, edge, trunk LinkConfig, q QueueConfig, opts ...Option) *Ring {
 	if n < 2 {
 		panic("netsim: ring needs at least 2 nodes")
 	}
-	net := NewNetwork(sim)
+	net := NewNetwork(sim, opts...)
 	r := &Ring{Net: net}
 	for i := 0; i < n; i++ {
 		sw := net.AddSwitch(SwitchIDBase+NodeID(i), q)

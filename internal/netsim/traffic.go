@@ -3,7 +3,9 @@ package netsim
 import (
 	"math"
 	"sort"
+	"strconv"
 
+	"trimgrad/internal/obs"
 	"trimgrad/internal/xrand"
 )
 
@@ -63,6 +65,9 @@ func (c *CrossTraffic) scheduleNext() {
 type FCTRecorder struct {
 	start map[uint64]Time
 	fcts  []Time
+	// Obs, when set, receives one "netsim.flow" span per completed flow
+	// (start/end in simulated nanoseconds, flow id as an attribute).
+	Obs *obs.Registry
 }
 
 // NewFCTRecorder returns an empty recorder.
@@ -78,6 +83,8 @@ func (f *FCTRecorder) FlowFinished(id uint64, at Time) {
 	if s, ok := f.start[id]; ok {
 		f.fcts = append(f.fcts, at-s)
 		delete(f.start, id)
+		f.Obs.RecordSpan("netsim.flow", int64(s), int64(at),
+			obs.KV{K: "flow", V: strconv.FormatUint(id, 10)})
 	}
 }
 

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Exporters render a Snapshot. Both formats are deterministic: the
+// snapshot is already in canonical order and every record has a fixed
+// field order, so two same-seed runs produce byte-identical files
+// (pinned by exp's TestChaosMetricsDeterminism).
+
+// jsonl line shapes. Kind is always first so consumers can dispatch
+// before decoding the rest.
+type jsonlCounter struct {
+	Kind  string `json:"kind"`
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+type jsonlGauge struct {
+	Kind  string `json:"kind"`
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+type jsonlHistogram struct {
+	Kind   string  `json:"kind"`
+	Name   string  `json:"name"`
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"`
+	Count  int64   `json:"count"`
+	Sum    int64   `json:"sum"`
+	P50    int64   `json:"p50"`
+	P99    int64   `json:"p99"`
+}
+
+type jsonlSpan struct {
+	Kind  string `json:"kind"`
+	Name  string `json:"name"`
+	Start int64  `json:"start"`
+	End   int64  `json:"end"`
+	Attrs []KV   `json:"attrs,omitempty"`
+}
+
+// WriteJSONL writes the snapshot as JSON lines: one object per counter,
+// gauge, histogram, and span, in canonical snapshot order. The schema is
+// validated by tools/metricsval.
+func WriteJSONL(w io.Writer, s Snapshot) error {
+	bw := bufio.NewWriter(w)
+	line := func(v any) error {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+		return bw.WriteByte('\n')
+	}
+	for _, c := range s.Counters {
+		if err := line(jsonlCounter{Kind: "counter", Name: c.Name, Value: c.Value}); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if err := line(jsonlGauge{Kind: "gauge", Name: g.Name, Value: g.Value}); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		rec := jsonlHistogram{
+			Kind: "histogram", Name: h.Name,
+			Bounds: h.Bounds, Counts: h.Counts,
+			Count: h.Count, Sum: h.Sum,
+			P50: h.Quantile(0.50), P99: h.Quantile(0.99),
+		}
+		if err := line(rec); err != nil {
+			return err
+		}
+	}
+	for _, sp := range s.Spans {
+		if err := line(jsonlSpan{Kind: "span", Name: sp.Name, Start: sp.Start, End: sp.End, Attrs: sp.Attrs}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteCSV writes the snapshot as a flat CSV with a fixed header:
+//
+//	kind,name,value,start,end,detail
+//
+// Counters and gauges fill value; spans fill value (duration) plus
+// start/end and attrs in detail; histograms fill value (count) with
+// p50/p99/sum and the per-bucket counts in detail. Names and attribute
+// values never contain commas by construction of the naming schema.
+func WriteCSV(w io.Writer, s Snapshot) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "kind,name,value,start,end,detail"); err != nil {
+		return err
+	}
+	row := func(kind, name string, value int64, start, end, detail string) error {
+		_, err := fmt.Fprintf(bw, "%s,%s,%d,%s,%s,%s\n", kind, name, value, start, end, detail)
+		return err
+	}
+	for _, c := range s.Counters {
+		if err := row("counter", c.Name, c.Value, "", "", ""); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if err := row("gauge", g.Name, g.Value, "", "", ""); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		detail := fmt.Sprintf("p50=%d;p99=%d;sum=%d;counts=%s",
+			h.Quantile(0.50), h.Quantile(0.99), h.Sum, joinInt64(h.Counts, "|"))
+		if err := row("histogram", h.Name, h.Count, "", "", detail); err != nil {
+			return err
+		}
+	}
+	for _, sp := range s.Spans {
+		var attrs []string
+		for _, kv := range sp.Attrs {
+			attrs = append(attrs, kv.K+"="+kv.V)
+		}
+		if err := row("span", sp.Name, sp.Duration(),
+			fmt.Sprint(sp.Start), fmt.Sprint(sp.End), strings.Join(attrs, ";")); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func joinInt64(v []int64, sep string) string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprint(x)
+	}
+	return strings.Join(parts, sep)
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"trimgrad/internal/xrand"
+)
+
+// randSnapshot generates a small snapshot in canonical order, drawing
+// names from a shared pool so merges exercise both the disjoint and the
+// colliding paths. Histogram bounds are fixed (Merge requires pinned
+// bounds per name, like the registry itself).
+func randSnapshot(rng *xrand.Rand) Snapshot {
+	r := New()
+	names := []string{"a.total", "b.total", "c.total", "d.depth", "e.bytes"}
+	for i := 0; i < 1+int(rng.Uint64()%4); i++ {
+		r.Counter(names[rng.Uint64()%3]).Add(int64(rng.Uint64() % 100))
+	}
+	for i := 0; i < int(rng.Uint64()%3); i++ {
+		r.Gauge(names[3]).Set(int64(rng.Uint64()%50) - 25)
+	}
+	bounds := []int64{8, 64, 512}
+	for i := 0; i < int(rng.Uint64()%5); i++ {
+		r.Histogram(names[4], bounds).Observe(int64(rng.Uint64() % 1024))
+	}
+	for i := 0; i < int(rng.Uint64()%4); i++ {
+		start := int64(rng.Uint64() % 1000)
+		r.RecordSpan("op", start, start+int64(rng.Uint64()%100),
+			KV{"rank", fmt.Sprint(rng.Uint64() % 3)})
+	}
+	return r.Snapshot()
+}
+
+// TestMergeProperties checks the algebra Merge promises: commutativity,
+// associativity, and the empty snapshot as identity — which together make
+// folding per-worker snapshots order-independent.
+func TestMergeProperties(t *testing.T) {
+	rng := xrand.New(42)
+	for trial := 0; trial < 200; trial++ {
+		a, b, c := randSnapshot(rng), randSnapshot(rng), randSnapshot(rng)
+		ab, ba := Merge(a, b), Merge(b, a)
+		if !reflect.DeepEqual(ab, ba) {
+			t.Fatalf("trial %d: Merge not commutative:\n%+v\nvs\n%+v", trial, ab, ba)
+		}
+		left, right := Merge(Merge(a, b), c), Merge(a, Merge(b, c))
+		if !reflect.DeepEqual(left, right) {
+			t.Fatalf("trial %d: Merge not associative:\n%+v\nvs\n%+v", trial, left, right)
+		}
+		if got := Merge(a, Snapshot{}); !reflect.DeepEqual(got, a) {
+			t.Fatalf("trial %d: empty not identity:\n%+v\nvs\n%+v", trial, got, a)
+		}
+	}
+}
+
+// TestMergeCountersSum pins the per-kind semantics on a concrete case.
+func TestMergeSemantics(t *testing.T) {
+	ra, rb := New(), New()
+	ra.Counter("c").Add(2)
+	rb.Counter("c").Add(3)
+	ra.Gauge("g").Set(7)
+	rb.Gauge("g").Set(4)
+	bounds := []int64{10}
+	ra.Histogram("h", bounds).Observe(5)
+	rb.Histogram("h", bounds).Observe(50)
+	m := Merge(ra.Snapshot(), rb.Snapshot())
+	if got := m.Counter("c"); got != 5 {
+		t.Fatalf("merged counter = %d, want sum 5", got)
+	}
+	if got := m.Gauge("g"); got != 7 {
+		t.Fatalf("merged gauge = %d, want max 7", got)
+	}
+	h, _ := m.Histogram("h")
+	if h.Count != 2 || h.Sum != 55 || !reflect.DeepEqual(h.Counts, []int64{1, 1}) {
+		t.Fatalf("merged hist = %+v", h)
+	}
+}

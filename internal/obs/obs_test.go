@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("a.events_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("a.events_total") != c {
+		t.Fatal("get-or-create returned a different counter")
+	}
+	g := r.Gauge("a.depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestNopRegistryIsSafe(t *testing.T) {
+	var r *Registry
+	if r != Nop {
+		t.Fatal("nil registry should equal Nop")
+	}
+	r.Counter("x").Inc()
+	r.Gauge("x").Set(3)
+	r.Histogram("x", BucketsBytes()).Observe(10)
+	r.RecordSpan("x", 0, 5)
+	r.StartSpan("x").End()
+	r.SetClock(func() int64 { return 9 })
+	if got := r.Now(); got != 0 {
+		t.Fatalf("nil Now = %d, want 0", got)
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms)+len(s.Spans) != 0 {
+		t.Fatal("nil snapshot not empty")
+	}
+}
+
+func TestLogicalClockAndSetClock(t *testing.T) {
+	r := New()
+	if a, b := r.Now(), r.Now(); !(a < b) {
+		t.Fatalf("logical clock not monotone: %d then %d", a, b)
+	}
+	at := int64(1234)
+	r.SetClock(func() int64 { return at })
+	sp := r.StartSpan("op", KV{"k", "v"})
+	at = 2000
+	sp.End()
+	spans := r.Snapshot().Spans
+	if len(spans) != 1 || spans[0].Start != 1234 || spans[0].End != 2000 {
+		t.Fatalf("span = %+v, want [1234,2000]", spans)
+	}
+	if v, ok := spans[0].Attr("k"); !ok || v != "v" {
+		t.Fatalf("attr = %q,%v", v, ok)
+	}
+}
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	r := New()
+	h := r.Histogram("q.bytes", []int64{10, 20, 40})
+	for _, v := range []int64{1, 10, 11, 20, 39, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 || h.Sum() != 181 {
+		t.Fatalf("count=%d sum=%d, want 6/181", h.Count(), h.Sum())
+	}
+	p, ok := r.Snapshot().Histogram("q.bytes")
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if want := []int64{2, 2, 1, 1}; !reflect.DeepEqual(p.Counts, want) {
+		t.Fatalf("counts = %v, want %v", p.Counts, want)
+	}
+	// 3rd of 6 observations sits in the (10,20] bucket.
+	if got := p.Quantile(0.5); got != 20 {
+		t.Fatalf("p50 = %d, want 20", got)
+	}
+	// The top observation overflows; the estimate saturates at the last bound.
+	if got := p.Quantile(0.99); got != 40 {
+		t.Fatalf("p99 = %d, want 40", got)
+	}
+	if got := (HistogramPoint{}).Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %d, want 0", got)
+	}
+}
+
+func TestHistogramBoundsPinned(t *testing.T) {
+	r := New()
+	r.Histogram("h", []int64{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("redeclaring histogram with different bounds should panic")
+		}
+	}()
+	r.Histogram("h", []int64{1, 3})
+}
+
+// TestBucketBoundariesGolden pins the standard bucket sets: they are part
+// of the export schema, so any change must be deliberate and show up here.
+func TestBucketBoundariesGolden(t *testing.T) {
+	wantBytes := []int64{
+		64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768,
+		65536, 131072, 262144, 524288, 1048576, 2097152, 4194304,
+		8388608, 16777216,
+	}
+	if got := BucketsBytes(); !reflect.DeepEqual(got, wantBytes) {
+		t.Fatalf("BucketsBytes = %v, want %v", got, wantBytes)
+	}
+	wantNs := []int64{
+		1_000, 2_000, 5_000,
+		10_000, 20_000, 50_000,
+		100_000, 200_000, 500_000,
+		1_000_000, 2_000_000, 5_000_000,
+		10_000_000, 20_000_000, 50_000_000,
+		100_000_000, 200_000_000, 500_000_000,
+		1_000_000_000, 2_000_000_000, 5_000_000_000,
+		10_000_000_000, 20_000_000_000, 50_000_000_000,
+		100_000_000_000,
+	}
+	if got := BucketsDurationNs(); !reflect.DeepEqual(got, wantNs) {
+		t.Fatalf("BucketsDurationNs = %v, want %v", got, wantNs)
+	}
+}
+
+func TestSnapshotCanonicalOrder(t *testing.T) {
+	r := New()
+	r.Counter("b").Inc()
+	r.Counter("a").Inc()
+	r.RecordSpan("late", 10, 20)
+	r.RecordSpan("early", 0, 5)
+	s := r.Snapshot()
+	if s.Counters[0].Name != "a" || s.Counters[1].Name != "b" {
+		t.Fatalf("counters unsorted: %+v", s.Counters)
+	}
+	if s.Spans[0].Name != "early" || s.Spans[1].Name != "late" {
+		t.Fatalf("spans unsorted: %+v", s.Spans)
+	}
+}
+
+func TestSpanSum(t *testing.T) {
+	r := New()
+	r.RecordSpan("op", 0, 10, KV{"rank", "0"})
+	r.RecordSpan("op", 10, 30, KV{"rank", "1"})
+	r.RecordSpan("other", 0, 100)
+	s := r.Snapshot()
+	if total, n := s.SpanSum("op"); total != 30 || n != 2 {
+		t.Fatalf("SpanSum(op) = %d,%d want 30,2", total, n)
+	}
+	if total, n := s.SpanSum("op", KV{"rank", "1"}); total != 20 || n != 1 {
+		t.Fatalf("SpanSum(op, rank=1) = %d,%d want 20,1", total, n)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	r := New()
+	r.Counter("c").Add(3)
+	r.Histogram("h", []int64{10}).Observe(5)
+	r.RecordSpan("s", 0, 1)
+	prev := r.Snapshot()
+	r.Counter("c").Add(4)
+	r.Histogram("h", []int64{10}).Observe(50)
+	r.RecordSpan("s", 2, 3)
+	d := Diff(prev, r.Snapshot())
+	if got := d.Counter("c"); got != 4 {
+		t.Fatalf("diff counter = %d, want 4", got)
+	}
+	h, _ := d.Histogram("h")
+	if h.Count != 1 || h.Sum != 50 || !reflect.DeepEqual(h.Counts, []int64{0, 1}) {
+		t.Fatalf("diff hist = %+v", h)
+	}
+	if len(d.Spans) != 1 || d.Spans[0].Start != 2 {
+		t.Fatalf("diff spans = %+v, want just [2,3]", d.Spans)
+	}
+}
+
+func TestWriteJSONLGolden(t *testing.T) {
+	r := New()
+	r.Counter("a.total").Add(2)
+	r.Gauge("g").Set(-1)
+	r.Histogram("h", []int64{10, 20}).Observe(15)
+	r.RecordSpan("op", 5, 9, KV{"rank", "0"})
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`{"kind":"counter","name":"a.total","value":2}`,
+		`{"kind":"gauge","name":"g","value":-1}`,
+		`{"kind":"histogram","name":"h","bounds":[10,20],"counts":[0,1,0],"count":1,"sum":15,"p50":20,"p99":20}`,
+		`{"kind":"span","name":"op","start":5,"end":9,"attrs":[{"k":"rank","v":"0"}]}`,
+	}, "\n") + "\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("JSONL:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := New()
+	r.Counter("c").Inc()
+	r.RecordSpan("op", 1, 4, KV{"rank", "2"})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "kind,name,value,start,end,detail" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "counter,c,1,,," {
+		t.Fatalf("counter row = %q", lines[1])
+	}
+	if lines[2] != "span,op,3,1,4,rank=2" {
+		t.Fatalf("span row = %q", lines[2])
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	h := r.Histogram("h", BucketsBytes())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(int64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 {
+		t.Fatalf("counter=%d hist=%d, want 8000 each", c.Value(), h.Count())
+	}
+}

@@ -79,6 +79,7 @@ func (tx *relSender) pump() {
 func (tx *relSender) transmit(idx int) {
 	tx.inFlight[idx] = true
 	tx.stack.Stats.DataSent++
+	tx.stack.obs.dataSent.Inc()
 	tx.stack.host.Send(&netsim.Packet{
 		Dst:     tx.dst,
 		Size:    payloadSize(tx.payloads[idx]),
@@ -106,10 +107,12 @@ func (tx *relSender) armTimer() {
 
 func (tx *relSender) onTimeout() {
 	tx.stack.Stats.Timeouts++
+	tx.stack.obs.timeouts.Inc()
 	tx.retries++
 	if tx.retries > tx.stack.cfg.MaxRetries {
 		tx.finished = true
 		tx.stack.Stats.Failures++
+		tx.stack.obs.failures.Inc()
 		delete(tx.stack.relTx, msgKey{tx.dst, tx.id})
 		if tx.failed != nil {
 			tx.failed(ErrRetriesExhausted)
@@ -124,6 +127,7 @@ func (tx *relSender) onTimeout() {
 	if tx.cwnd < 1 {
 		tx.cwnd = 1
 	}
+	tx.stack.obs.cwnd.Set(int64(tx.cwnd * 1000))
 	tx.inFlight = make(map[int]bool)
 	resent := 0
 	for idx, ok := range tx.acked {
@@ -135,6 +139,7 @@ func (tx *relSender) onTimeout() {
 		}
 		tx.transmit(idx)
 		tx.stack.Stats.Retransmits++
+		tx.stack.obs.retransmits.Inc()
 		resent++
 	}
 	tx.armTimer()
@@ -165,6 +170,7 @@ func (tx *relSender) onAck(a relAck) {
 				tx.cwnd = float64(tx.stack.cfg.MaxWindow)
 			}
 		}
+		tx.stack.obs.cwnd.Set(int64(tx.cwnd * 1000))
 	}
 	if tx.nAcked == len(tx.payloads) {
 		tx.finished = true
@@ -199,6 +205,7 @@ func (s *Stack) handleRelData(p *netsim.Packet, c relData) {
 	// Echo ECN into the ack so the sender reacts. Duplicates are re-acked
 	// too — the original ack may have been the casualty.
 	s.Stats.AcksSent++
+	s.obs.acksSent.Inc()
 	s.host.Send(&netsim.Packet{
 		Dst:     p.Src,
 		Size:    ackSize,
@@ -211,6 +218,7 @@ func (s *Stack) handleRelData(p *netsim.Packet, c relData) {
 	}
 	if rx.got[c.Idx] {
 		s.Stats.DupsReceived++
+		s.obs.dupsReceived.Inc()
 		return // acked above but never re-delivered
 	}
 	rx.got[c.Idx] = true

@@ -19,9 +19,11 @@ package transport
 
 import (
 	"errors"
+	"fmt"
 	"hash/crc32"
 
 	"trimgrad/internal/netsim"
+	"trimgrad/internal/obs"
 	"trimgrad/internal/wire"
 )
 
@@ -111,12 +113,13 @@ type Stats struct {
 	DupsReceived int
 }
 
-// Stack is the per-host transport endpoint. Create one per host with
-// NewStack; it takes over the host's packet handler.
+// Stack is the per-host transport endpoint. Create one per host with New;
+// it takes over the host's packet handler.
 type Stack struct {
 	host *netsim.Host
 	sim  *netsim.Sim
 	cfg  Config
+	obs  stackObs
 
 	// Receiver consumes delivered payloads; may be nil.
 	Receiver Receiver
@@ -133,24 +136,93 @@ type Stack struct {
 	trimRx map[msgKey]*trimReceiver
 }
 
+// stackObs mirrors Stats into a telemetry registry under the
+// "transport.h<id>." prefix, plus the congestion window as a gauge
+// (scaled ×1000 since gauges are integers). All instruments are nil
+// no-ops when telemetry is off.
+type stackObs struct {
+	dataSent        *obs.Counter
+	dataDelivered   *obs.Counter
+	trimmedReceived *obs.Counter
+	retransmits     *obs.Counter
+	timeouts        *obs.Counter
+	acksSent        *obs.Counter
+	nacksSent       *obs.Counter
+	failures        *obs.Counter
+	rejectedPackets *obs.Counter
+	dupsReceived    *obs.Counter
+	cwnd            *obs.Gauge
+}
+
+func newStackObs(r *obs.Registry, id netsim.NodeID) stackObs {
+	prefix := fmt.Sprintf("transport.h%d.", id)
+	return stackObs{
+		dataSent:        r.Counter(prefix + "data_sent_total"),
+		dataDelivered:   r.Counter(prefix + "data_delivered_total"),
+		trimmedReceived: r.Counter(prefix + "trimmed_received_total"),
+		retransmits:     r.Counter(prefix + "retransmits_total"),
+		timeouts:        r.Counter(prefix + "timeouts_total"),
+		acksSent:        r.Counter(prefix + "acks_sent_total"),
+		nacksSent:       r.Counter(prefix + "nacks_sent_total"),
+		failures:        r.Counter(prefix + "failures_total"),
+		rejectedPackets: r.Counter(prefix + "rejected_packets_total"),
+		dupsReceived:    r.Counter(prefix + "dups_received_total"),
+		cwnd:            r.Gauge(prefix + "cwnd_x1000"),
+	}
+}
+
 type msgKey struct {
 	peer netsim.NodeID
 	id   uint32
 }
 
-// NewStack attaches a transport stack to h.
-func NewStack(h *netsim.Host, cfg Config) *Stack {
+// An Opt configures a Stack at construction.
+type Opt func(*stackOpts)
+
+type stackOpts struct {
+	cfg Config
+	reg *obs.Registry
+	rcv Receiver
+}
+
+// WithConfig sets the protocol configuration (zero fields take defaults).
+func WithConfig(cfg Config) Opt { return func(o *stackOpts) { o.cfg = cfg } }
+
+// WithRegistry overrides the telemetry registry. By default the stack
+// inherits whatever registry is bound to the host's simulator (nil — off —
+// when none is).
+func WithRegistry(r *obs.Registry) Opt { return func(o *stackOpts) { o.reg = r } }
+
+// WithReceiver sets the payload consumer at construction time.
+func WithReceiver(rcv Receiver) Opt { return func(o *stackOpts) { o.rcv = rcv } }
+
+// New attaches a transport stack to h, configured by options.
+func New(h *netsim.Host, opts ...Opt) *Stack {
+	o := stackOpts{reg: h.Sim().Obs()}
+	for _, opt := range opts {
+		opt(&o)
+	}
 	s := &Stack{
-		host:   h,
-		sim:    h.Sim(),
-		cfg:    cfg.withDefaults(),
-		relTx:  make(map[msgKey]*relSender),
-		relRx:  make(map[msgKey]*relReceiver),
-		trimTx: make(map[msgKey]*trimSender),
-		trimRx: make(map[msgKey]*trimReceiver),
+		host:     h,
+		sim:      h.Sim(),
+		cfg:      o.cfg.withDefaults(),
+		obs:      newStackObs(o.reg, h.ID()),
+		Receiver: o.rcv,
+		relTx:    make(map[msgKey]*relSender),
+		relRx:    make(map[msgKey]*relReceiver),
+		trimTx:   make(map[msgKey]*trimSender),
+		trimRx:   make(map[msgKey]*trimReceiver),
 	}
 	h.Handler = s.handle
 	return s
+}
+
+// NewStack attaches a transport stack to h.
+//
+// Deprecated: use New with WithConfig; NewStack remains as a thin wrapper
+// for existing callers.
+func NewStack(h *netsim.Host, cfg Config) *Stack {
+	return New(h, WithConfig(cfg))
 }
 
 // Host returns the underlying simulated host.
@@ -182,6 +254,7 @@ func (s *Stack) deliver(src netsim.NodeID, payload []byte) {
 		s.Receiver.HandlePayload(src, payload)
 	}
 	s.Stats.DataDelivered++
+	s.obs.dataDelivered.Inc()
 }
 
 // payloadSize is the wire size of a packet carrying payload.
@@ -207,6 +280,7 @@ func payloadSum(payload []byte) uint32 { return crc32.Checksum(payload, crcTable
 func (s *Stack) validPayload(p *netsim.Packet, sum uint32) bool {
 	if !p.Trimmed && payloadSum(p.Payload) != sum {
 		s.Stats.RejectedPackets++
+		s.obs.rejectedPackets.Inc()
 		return false
 	}
 	if !wire.IsTrimgrad(p.Payload) {
@@ -214,6 +288,7 @@ func (s *Stack) validPayload(p *netsim.Packet, sum uint32) bool {
 	}
 	if wire.Validate(p.Payload) != nil {
 		s.Stats.RejectedPackets++
+		s.obs.rejectedPackets.Inc()
 		return false
 	}
 	return true

@@ -100,6 +100,7 @@ func (tx *trimSender) sendMeta(idx int) {
 
 func (tx *trimSender) sendData(idx int) {
 	tx.stack.Stats.DataSent++
+	tx.stack.obs.dataSent.Inc()
 	tx.stack.host.Send(&netsim.Packet{
 		Dst:     tx.dst,
 		Size:    payloadSize(tx.data[idx]),
@@ -129,10 +130,12 @@ func (tx *trimSender) armTimer() {
 // retransmitted — the receiver NACKs exactly what is missing.
 func (tx *trimSender) onTimeout() {
 	tx.stack.Stats.Timeouts++
+	tx.stack.obs.timeouts.Inc()
 	tx.retries++
 	if tx.retries > tx.stack.cfg.MaxRetries {
 		tx.finished = true
 		tx.stack.Stats.Failures++
+		tx.stack.obs.failures.Inc()
 		delete(tx.stack.trimTx, msgKey{tx.dst, tx.id})
 		if tx.failed != nil {
 			tx.failed(ErrRetriesExhausted)
@@ -144,6 +147,7 @@ func (tx *trimSender) onTimeout() {
 		if !ok {
 			tx.sendMeta(i)
 			tx.stack.Stats.Retransmits++
+			tx.stack.obs.retransmits.Inc()
 		}
 	}
 	// Fallback for the pathological case where *every* data packet of the
@@ -153,6 +157,7 @@ func (tx *trimSender) onTimeout() {
 		for i := range tx.data {
 			tx.sendData(i)
 			tx.stack.Stats.Retransmits++
+			tx.stack.obs.retransmits.Inc()
 		}
 	}
 	tx.armTimer()
@@ -177,6 +182,7 @@ func (tx *trimSender) onNack(missing []int) {
 		if idx >= 0 && idx < len(tx.data) {
 			tx.sendData(idx)
 			tx.stack.Stats.Retransmits++
+			tx.stack.obs.retransmits.Inc()
 		}
 	}
 	tx.armTimer()
@@ -229,6 +235,7 @@ func (s *Stack) handleTrimMeta(p *netsim.Packet, c trimMeta) {
 	rx := s.trimReceiverFor(p.Src, c.MsgID, c.Total, 0)
 	// Always ack, even duplicates: the ack may have been lost.
 	s.Stats.AcksSent++
+	s.obs.acksSent.Inc()
 	s.host.Send(&netsim.Packet{
 		Dst:     p.Src,
 		Size:    ackSize,
@@ -241,6 +248,7 @@ func (s *Stack) handleTrimMeta(p *netsim.Packet, c trimMeta) {
 	}
 	if rx.metaGot[c.Idx] {
 		s.Stats.DupsReceived++
+		s.obs.dupsReceived.Inc()
 		// A duplicate meta implies the sender missed our done: repeat it.
 		if rx.complete {
 			rx.sendDone()
@@ -266,10 +274,12 @@ func (s *Stack) handleTrimData(p *netsim.Packet, c trimData) {
 	}
 	if rx.dataGot[c.Idx] {
 		s.Stats.DupsReceived++
+		s.obs.dupsReceived.Inc()
 		return // accounted for already; never re-delivered
 	}
 	if p.Trimmed {
 		s.Stats.TrimmedReceived++
+		s.obs.trimmedReceived.Inc()
 	}
 	rx.dataGot[c.Idx] = true
 	rx.nDataGot++
@@ -344,6 +354,7 @@ func (rx *trimReceiver) armNack() {
 			return
 		}
 		rx.stack.Stats.NacksSent++
+		rx.stack.obs.nacksSent.Inc()
 		rx.stack.host.Send(&netsim.Packet{
 			Dst:     rx.src,
 			Size:    ackSize + 4*len(missing),

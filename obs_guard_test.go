@@ -1,0 +1,64 @@
+package trimgrad
+
+import (
+	"testing"
+
+	"trimgrad/internal/core"
+	"trimgrad/internal/fwht"
+	"trimgrad/internal/obs"
+	"trimgrad/internal/quant"
+)
+
+// encodeNsPerOp benchmarks the core encode hot path against the given
+// registry and returns the best of three runs (minimum filters scheduler
+// noise; we care about the achievable cost, not the average).
+func encodeNsPerOp(t *testing.T, reg *obs.Registry) float64 {
+	t.Helper()
+	row := benchRow(fwht.DefaultRowSize)
+	enc, err := core.NewEncoderWith(
+		core.WithConfig(core.Config{Params: quant.Params{Scheme: quant.RHT}, RowSize: 1 << 13}),
+		core.WithRegistry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := 0.0
+	for i := 0; i < 3; i++ {
+		r := testing.Benchmark(func(b *testing.B) {
+			for n := 0; n < b.N; n++ {
+				if _, err := enc.Encode(1, uint32(n+1), row); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		ns := float64(r.NsPerOp())
+		if best == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+// TestObsOverheadGuard pins the "telemetry is free when you don't look at
+// it" contract of the obs redesign: encoding against a live registry must
+// stay within 5% of encoding against obs.Nop. The instrumentation sits on
+// the encode hot path, so a regression here (per-packet locking, per-byte
+// accounting, anything super-constant) is a paper-relevant perf bug —
+// Figure 5's encode overhead claims assume the hook costs ~nothing.
+func TestObsOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark guard skipped in -short mode")
+	}
+	const limit = 1.05
+	// One retry absorbs a noisy first measurement on loaded CI machines.
+	var ratio float64
+	for attempt := 0; attempt < 2; attempt++ {
+		nop := encodeNsPerOp(t, obs.Nop)
+		live := encodeNsPerOp(t, obs.New())
+		ratio = live / nop
+		t.Logf("attempt %d: nop %.0f ns/op, live %.0f ns/op, ratio %.3f", attempt, nop, live, ratio)
+		if ratio <= limit {
+			return
+		}
+	}
+	t.Fatalf("live-registry encode is %.3fx the obs.Nop cost (limit %.2fx)", ratio, limit)
+}

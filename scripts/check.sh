@@ -23,7 +23,7 @@ step() { echo "== $*"; }
 if [[ $mode == chaos ]]; then
   step "go test -race (chaos/fault/duplicate regressions)"
   go test -race -run 'Chaos|Fault|Flap|Duplicate|PauseAndFail' \
-    ./internal/netsim ./internal/transport ./internal/collective
+    ./internal/netsim ./internal/transport ./internal/collective ./internal/exp
   echo "OK (chaos pass)"
   exit 0
 fi
@@ -57,6 +57,15 @@ go test ./...
 
 step "go test -race (concurrency-heavy packages)"
 go test -race ./internal/core ./internal/transport ./internal/collective ./internal/ddp
+
+step "metrics export smoke (trimbench -metrics -> metricsval)"
+metrics_tmp=$(mktemp /tmp/trimgrad-metrics.XXXXXX.jsonl)
+trap 'rm -f "$metrics_tmp"' EXIT
+go run ./cmd/trimbench -exp fig5 -quick -metrics "$metrics_tmp" > /dev/null
+go run ./tools/metricsval "$metrics_tmp"
+
+step "obs overhead guard (encode hot path, Nop vs live registry)"
+go test -run 'TestObsOverheadGuard' -count=1 .
 
 step "fuzz smoke (wire parsers + Trim, 2s each)"
 for target in FuzzParseDataPacket FuzzParseMetaPacket FuzzParseNaivePacket FuzzTrim FuzzTrimPreservesHeads; do
