@@ -15,6 +15,7 @@ import (
 	"trimgrad/internal/lowrank"
 	"trimgrad/internal/ml"
 	"trimgrad/internal/netsim"
+	"trimgrad/internal/obs"
 	"trimgrad/internal/quant"
 	"trimgrad/internal/sparse"
 	"trimgrad/internal/transport"
@@ -339,6 +340,108 @@ func BenchmarkE11TranscriptReplay(b *testing.B) {
 		for _, d := range msg2.Data {
 			player.Apply(d)
 		}
+	}
+}
+
+// The BenchmarkHot* family is the hot-path trajectory suite: each
+// benchmark runs a serial and a parallel sub-benchmark over identical
+// work with live obs registries attached, so scripts/bench.sh +
+// tools/benchjson can compute serial/parallel speedups and track them
+// across commits in BENCH_<date>.json. Names are load-bearing: benchjson
+// pairs `<name>/serial` with `<name>/parallel`.
+
+// BenchmarkHotEncodeDecodeRound measures a full gradient round trip —
+// encode to packets, reassemble, decode — on a DDP-sized gradient.
+func BenchmarkHotEncodeDecodeRound(b *testing.B) {
+	grad := benchRow(1 << 18)
+	cfg := core.Config{Params: quant.Params{Scheme: quant.RHT}, RowSize: 1 << 13}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			reg := obs.New()
+			enc, err := core.NewEncoderWith(core.WithConfig(cfg), core.WithRegistry(reg))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(grad) * 4))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				msg, err := enc.EncodeParallel(1, uint32(i+1), grad, bc.workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				dec, err := core.NewDecoderWith(uint32(i+1), core.WithConfig(cfg), core.WithRegistry(reg))
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, m := range msg.Meta {
+					if err := dec.Handle(m); err != nil {
+						b.Fatal(err)
+					}
+				}
+				for _, d := range msg.Data {
+					if err := dec.Handle(d); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, _, err := dec.DecodeParallel(len(grad), bc.workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHotMatmul measures one dense-layer forward+backward on a
+// training-shaped batch — the blocked-matmul kernels in isolation.
+func BenchmarkHotMatmul(b *testing.B) {
+	defer ml.SetWorkers(0)
+	train, _ := ml.Synthetic(ml.SyntheticConfig{Classes: 20, Dim: 128, Train: 256, Test: 1, Seed: 6})
+	m := ml.NewMLP(5, train.Dim, 256, train.Classes)
+	xs, ys := train.Batches(128, 3)
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			ml.SetWorkers(bc.workers)
+			b.SetBytes(int64(128 * train.Dim * 256 * 4))
+			for i := 0; i < b.N; i++ {
+				m.ZeroGrad()
+				logits := m.Forward(xs[0], true)
+				_, dLogits := ml.SoftmaxCrossEntropy(logits, ys[0])
+				m.Backward(dLogits)
+			}
+		})
+	}
+}
+
+// BenchmarkHotMLEpoch measures one full training epoch — every batch
+// through forward, loss, backward, and an SGD step.
+func BenchmarkHotMLEpoch(b *testing.B) {
+	defer ml.SetWorkers(0)
+	train, _ := ml.Synthetic(ml.SyntheticConfig{Classes: 20, Dim: 64, Train: 1024, Test: 1, Seed: 7})
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			ml.SetWorkers(bc.workers)
+			m := ml.NewMLP(8, train.Dim, 128, train.Classes)
+			opt := ml.NewSGD(0.05, 0.9)
+			for i := 0; i < b.N; i++ {
+				xs, ys := train.Batches(64, uint64(i))
+				for r := range xs {
+					m.ZeroGrad()
+					logits := m.Forward(xs[r], true)
+					_, dLogits := ml.SoftmaxCrossEntropy(logits, ys[r])
+					m.Backward(dLogits)
+					opt.Step(m.Params(), m.Grads())
+				}
+			}
+		})
 	}
 }
 

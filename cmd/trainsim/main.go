@@ -19,6 +19,7 @@ import (
 	"trimgrad/internal/ddp"
 	"trimgrad/internal/ml"
 	"trimgrad/internal/obs"
+	"trimgrad/internal/prof"
 	"trimgrad/internal/quant"
 )
 
@@ -36,8 +37,17 @@ func main() {
 		replay   = flag.String("replay", "", "replay a recorded trim transcript (§5.4)")
 		hard     = flag.Bool("hard", true, "use the hard 100-class benchmark task")
 		metrics  = flag.String("metrics", "", "export per-round telemetry (ddp.round.* spans, codec counters) as JSONL to this file")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trainsim:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	dcfg := ml.SyntheticConfig{
 		Classes: 100, Dim: 64, Train: 8000, Test: 2000,

@@ -18,6 +18,7 @@ import (
 
 	"trimgrad/internal/exp"
 	"trimgrad/internal/obs"
+	"trimgrad/internal/prof"
 )
 
 func main() {
@@ -28,8 +29,17 @@ func main() {
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		seed    = flag.Uint64("seed", 0, "experiment seed offset")
 		metrics = flag.String("metrics", "", "export collected telemetry as JSONL to this file")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trimbench:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	if *list || *name == "" {
 		fmt.Println("available experiments:")

@@ -47,6 +47,11 @@ var deterministicPkgs = map[string]bool{
 	// (seeded workloads), so it is held to the same standard; its few
 	// wall-clock perf measurements carry explicit allow directives.
 	"exp": true,
+	// par is the worker-pool substrate under the parallel encode/decode
+	// and matmul paths: its contract is bit-identical output at every
+	// worker count, so any clock, rand, or map-order dependence in its
+	// scheduling would silently void that guarantee.
+	"par": true,
 }
 
 // bannedTimeFuncs are the time-package functions that read or wait on the

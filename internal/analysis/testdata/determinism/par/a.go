@@ -1,0 +1,40 @@
+// Package par is a determinism-checker fixture mirroring the worker-pool
+// substrate: pool scheduling must never consult the clock, seed from
+// global randomness, or iterate a map — any of those would make "same
+// seed, same bytes" dependent on the machine running the pool.
+package par
+
+import (
+	"math/rand" // want "deterministic package par imports math/rand"
+	"time"
+)
+
+func backoff() {
+	time.Sleep(time.Millisecond) // want "calls time.Sleep"
+}
+
+func shardSeed() int64 {
+	return time.Now().UnixNano() // want "calls time.Now"
+}
+
+func pickWorker(load map[int]int) int {
+	best := -1
+	for w := range load { // want "ranges over a map"
+		if best < 0 || load[w] < load[best] {
+			best = w
+		}
+	}
+	return best
+}
+
+func jitter() float64 {
+	return rand.Float64()
+}
+
+func fixedOrder(workers []int) int {
+	total := 0
+	for _, w := range workers {
+		total += w
+	}
+	return total
+}

@@ -188,7 +188,10 @@ func (w *Worker) reconstruct(src netsim.NodeID, msg uint32, n int) ([]float32, e
 	if dec == nil {
 		return nil, fmt.Errorf("collective: no packets from %d for message %d", src, msg)
 	}
-	out, stats, err := dec.Reconstruct(n)
+	// Parallel reconstruction is bit-identical to serial (values, Stats,
+	// and obs counters alike), so the collective's determinism contract —
+	// same seed, same bytes — is preserved while rows decode on all cores.
+	out, stats, err := dec.DecodeParallel(n, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -216,7 +219,7 @@ func (w *Worker) armDeadline(completed func() bool, fail func(err error)) {
 // the transport's error.
 func (w *Worker) send(dst netsim.NodeID, epoch uint64, msg uint32, grad []float32,
 	done func(at netsim.Time), failed func(err error)) error {
-	m, err := w.enc.Encode(epoch, msg, grad)
+	m, err := w.enc.EncodeParallel(epoch, msg, grad, 0)
 	if err != nil {
 		return err
 	}

@@ -16,9 +16,11 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"trimgrad/internal/fwht"
 	"trimgrad/internal/obs"
+	"trimgrad/internal/par"
 	"trimgrad/internal/quant"
 	"trimgrad/internal/wire"
 	"trimgrad/internal/xrand"
@@ -128,10 +130,16 @@ func newEncObs(r *obs.Registry) encObs {
 }
 
 // Encoder turns gradient tensors into trimmable packet streams.
+// Methods are safe for concurrent use.
 type Encoder struct {
 	cfg   Config
 	codec quant.Codec
 	obs   encObs
+
+	// mu guards codecs, the lazily-grown per-worker codec cache used by
+	// EncodeParallel (slot 0 aliases codec).
+	mu     sync.Mutex
+	codecs []quant.Codec
 }
 
 // NewEncoderWith builds an encoder from options.
@@ -167,8 +175,14 @@ func (e *Encoder) Encode(epoch uint64, msgID uint32, grad []float32) (*Message, 
 	if len(grad) == 0 {
 		return nil, errors.New("core: empty gradient")
 	}
-	rows := fwht.SplitRows(grad, e.cfg.RowSize)
-	msg := &Message{ID: msgID, N: len(grad)}
+	// The padded row backing lives only for the duration of this call
+	// (packets copy the bits they need), so it comes from the scratch
+	// arena: steady-state encoding does not allocate it.
+	nRows := (len(grad) + e.cfg.RowSize - 1) / e.cfg.RowSize
+	backing := par.Float32s(nRows * e.cfg.RowSize)
+	defer par.PutFloat32s(backing)
+	rows := fwht.SplitRowsBacking(grad, e.cfg.RowSize, backing)
+	msg := &Message{ID: msgID, N: len(grad), Meta: make([][]byte, 0, nRows)}
 	for r, row := range rows {
 		seed := RowSeed(epoch, msgID, uint32(r))
 		enc, err := e.codec.Encode(row, seed)

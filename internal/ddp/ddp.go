@@ -437,9 +437,11 @@ func (t *Trainer) Run() (*Result, error) {
 }
 
 // exchange pushes one worker's gradient through encode → injector →
-// decode.
+// decode. Both codec halves run on the par pool; parallel output is
+// bit-identical to serial, so training trajectories do not depend on
+// GOMAXPROCS.
 func (t *Trainer) exchange(epoch uint64, msgID uint32, grad []float32) ([]float32, core.Stats, error) {
-	msg, err := t.enc.Encode(epoch, msgID, grad)
+	msg, err := t.enc.EncodeParallel(epoch, msgID, grad, 0)
 	if err != nil {
 		return nil, core.Stats{}, err
 	}
@@ -463,7 +465,7 @@ func (t *Trainer) exchange(epoch uint64, msgID uint32, grad []float32) ([]float3
 			return nil, core.Stats{}, err
 		}
 	}
-	out, stats, err := dec.Reconstruct(len(grad))
+	out, stats, err := dec.DecodeParallel(len(grad), 0)
 	if err != nil {
 		return nil, core.Stats{}, err
 	}

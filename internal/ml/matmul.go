@@ -1,0 +1,122 @@
+package ml
+
+import "trimgrad/internal/par"
+
+// Cache-blocked, pool-parallel dense-layer kernels. The training loop's
+// hot path is three matmul-shaped loops (forward y = xW + b, backward
+// input gx = gy·Wᵀ, backward weights dW += xᵀ·gy); the naive triple
+// loops they replace dominated epoch time and kept trainsim experiments
+// from measuring the compression algorithms.
+//
+// Determinism is a hard invariant here (seed → byte-identical telemetry,
+// per the chaos matrix): every float32 accumulator must see its
+// contributions in the same order at every worker count. The kernels
+// guarantee that structurally —
+//
+//   - each output row (a sample's activations, a weight row's gradients)
+//     is computed by exactly one worker, claimed in fixed index order;
+//   - within a row, tile loops are arranged so each accumulator's
+//     contribution order is the plain ascending loop's order (blocking
+//     changes traversal locality, never per-accumulator order).
+//
+// So results are bit-identical to the serial kernels for every worker
+// count, which the cross-worker-count equivalence tests in
+// matmul_test.go pin under -race.
+
+// jBlock is the output-column tile width: a 256-float y-tile (1 KiB)
+// stays L1-resident while the kernel streams the W rows beneath it.
+const jBlock = 256
+
+// workerOverride, when nonzero, fixes the worker count of the ml
+// kernels; zero delegates to the par.Default pool size. Tests and
+// benchmarks use it to pin serial vs parallel execution.
+var workerOverride int
+
+// SetWorkers overrides the worker count used by the dense-layer kernels:
+// n <= 0 restores the default (the par pool size, GOMAXPROCS). It is not
+// safe to call concurrently with training; results are bit-identical at
+// every setting, so it only changes speed.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workerOverride = n
+}
+
+// mlWorkers returns the active kernel worker count.
+func mlWorkers() int { return workerOverride }
+
+// denseForward computes out[s] = x[s]·W + b for every sample, one sample
+// per worker. W is row-major In×Out.
+func denseForward(out, x [][]float32, w, b []float32, outDim int) {
+	par.Default.ForEach(len(x), mlWorkers(), func(s int) {
+		row := x[s]
+		y := out[s]
+		copy(y, b)
+		for j0 := 0; j0 < outDim; j0 += jBlock {
+			j1 := j0 + jBlock
+			if j1 > outDim {
+				j1 = outDim
+			}
+			yt := y[j0:j1]
+			for i, xi := range row {
+				if xi == 0 {
+					continue
+				}
+				wt := w[i*outDim+j0 : i*outDim+j1]
+				for j, wij := range wt {
+					yt[j] += xi * wij
+				}
+			}
+		}
+	})
+}
+
+// denseBackwardInput computes gradIn[s] = gradOut[s]·Wᵀ for every
+// sample, one sample per worker.
+func denseBackwardInput(gradIn, gradOut [][]float32, w []float32, outDim int) {
+	par.Default.ForEach(len(gradOut), mlWorkers(), func(s int) {
+		gy := gradOut[s]
+		gx := gradIn[s]
+		for i := range gx {
+			wRow := w[i*outDim : (i+1)*outDim]
+			var acc float32
+			for j, g := range gy {
+				acc += g * wRow[j]
+			}
+			gx[i] = acc
+		}
+	})
+}
+
+// denseBackwardWeights accumulates dW += xᵀ·gradOut, one weight row
+// (input index i) per worker. For a fixed (i, j) the contributions
+// arrive in ascending sample order — the same order as the serial
+// (s, i, j) loop, since each sample adds exactly one term per cell — so
+// the accumulated float32 is bit-identical to the serial kernel's.
+func denseBackwardWeights(dw []float32, x, gradOut [][]float32, outDim int) {
+	inDim := len(dw) / outDim
+	par.Default.ForEach(inDim, mlWorkers(), func(i int) {
+		dwRow := dw[i*outDim : (i+1)*outDim]
+		for s, gy := range gradOut {
+			xi := x[s][i]
+			if xi == 0 {
+				continue
+			}
+			for j, g := range gy {
+				dwRow[j] += xi * g
+			}
+		}
+	})
+}
+
+// denseBackwardBias accumulates db += Σ_s gradOut[s]. Out is small (a
+// few hundred floats), so this stays serial; order matches the serial
+// kernel's sample-major accumulation.
+func denseBackwardBias(db []float32, gradOut [][]float32) {
+	for _, gy := range gradOut {
+		for j, g := range gy {
+			db[j] += g
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"trimgrad/internal/xrand"
+)
+
+// matmulWorkerCounts is the cross-worker-count equivalence matrix the
+// perf substrate is tested against (serial, under-, at-, and
+// over-subscribed relative to typical GOMAXPROCS).
+var matmulWorkerCounts = []int{1, 2, 3, 8}
+
+func randomBatch(rng *xrand.Rand, n, dim int, sparsify bool) [][]float32 {
+	x := make([][]float32, n)
+	for s := range x {
+		row := make([]float32, dim)
+		for i := range row {
+			row[i] = float32(rng.NormFloat64())
+			// Exercise the xi == 0 skip path the way ReLU outputs do.
+			if sparsify && rng.Float64() < 0.3 {
+				row[i] = 0
+			}
+		}
+		x[s] = row
+	}
+	return x
+}
+
+func bitsEqual(t *testing.T, label string, workers int, got, want []float32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s workers=%d: length %d != %d", label, workers, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+			t.Fatalf("%s workers=%d: [%d] = %x, want %x (%g vs %g)",
+				label, workers, i, math.Float32bits(got[i]), math.Float32bits(want[i]), got[i], want[i])
+		}
+	}
+}
+
+// TestDenseForwardBackwardBitIdenticalAcrossWorkers: one training step's
+// forward activations, input gradients, and parameter gradients must be
+// byte-identical at every worker count — determinism under parallelism
+// is the perf substrate's hard invariant.
+func TestDenseForwardBackwardBitIdenticalAcrossWorkers(t *testing.T) {
+	defer SetWorkers(0)
+	const batch, in, out = 37, 65, 50 // odd sizes straddle the jBlock tile edge logic
+	rng := xrand.New(11)
+	x := randomBatch(rng, batch, in, true)
+	gy := randomBatch(rng, batch, out, false)
+
+	type result struct {
+		fwd, gx []float32
+		dw, db  []float32
+	}
+	run := func(workers int) result {
+		SetWorkers(workers)
+		d := NewDense(in, out)
+		params := make([]float32, d.ParamCount())
+		grads := make([]float32, d.ParamCount())
+		d.bind(params, grads)
+		d.initialize(xrand.New(5))
+		fwd := d.Forward(x, true)
+		gradIn := d.Backward(gy)
+		res := result{dw: append([]float32(nil), d.dw...), db: append([]float32(nil), d.db...)}
+		for _, row := range fwd {
+			res.fwd = append(res.fwd, row...)
+		}
+		for _, row := range gradIn {
+			res.gx = append(res.gx, row...)
+		}
+		return res
+	}
+
+	ref := run(1)
+	for _, workers := range matmulWorkerCounts[1:] {
+		got := run(workers)
+		bitsEqual(t, "forward", workers, got.fwd, ref.fwd)
+		bitsEqual(t, "gradIn", workers, got.gx, ref.gx)
+		bitsEqual(t, "dW", workers, got.dw, ref.dw)
+		bitsEqual(t, "db", workers, got.db, ref.db)
+	}
+}
+
+// TestTrainingStepBitIdenticalAcrossWorkers runs whole SGD steps through
+// an MLP and requires the resulting parameters to match bit for bit:
+// the end-to-end guarantee trainsim's telemetry determinism rests on.
+func TestTrainingStepBitIdenticalAcrossWorkers(t *testing.T) {
+	defer SetWorkers(0)
+	train, _ := Synthetic(SyntheticConfig{Classes: 10, Dim: 24, Train: 96, Test: 8, Seed: 9})
+
+	run := func(workers int) []float32 {
+		SetWorkers(workers)
+		m := NewMLP(3, train.Dim, 48, train.Classes)
+		opt := NewSGD(0.05, 0.9)
+		xs, ys := train.Batches(32, 77)
+		for r := range xs {
+			m.ZeroGrad()
+			logits := m.Forward(xs[r], true)
+			_, dLogits := SoftmaxCrossEntropy(logits, ys[r])
+			m.Backward(dLogits)
+			opt.Step(m.Params(), m.Grads())
+		}
+		return append([]float32(nil), m.Params()...)
+	}
+
+	ref := run(1)
+	for _, workers := range matmulWorkerCounts[1:] {
+		bitsEqual(t, "params", workers, run(workers), ref)
+	}
+}
+
+// BenchmarkDenseLayer measures one forward+backward pass of a
+// paper-plausible layer, serial vs pooled.
+func BenchmarkDenseLayer(b *testing.B) {
+	defer SetWorkers(0)
+	const batch, in, out = 128, 64, 128
+	rng := xrand.New(4)
+	x := randomBatch(rng, batch, in, true)
+	gy := randomBatch(rng, batch, out, false)
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			SetWorkers(bc.workers)
+			d := NewDense(in, out)
+			params := make([]float32, d.ParamCount())
+			grads := make([]float32, d.ParamCount())
+			d.bind(params, grads)
+			d.initialize(xrand.New(5))
+			b.SetBytes(int64(batch * in * out * 4))
+			for i := 0; i < b.N; i++ {
+				d.Forward(x, true)
+				d.Backward(gy)
+			}
+		})
+	}
+}

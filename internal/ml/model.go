@@ -71,57 +71,48 @@ func (d *Dense) initialize(rng *xrand.Rand) {
 	}
 }
 
-// Forward implements Layer.
+// Forward implements Layer. The matmul runs cache-blocked on the par
+// pool (see matmul.go); results are bit-identical at every worker count.
 func (d *Dense) Forward(x [][]float32, train bool) [][]float32 {
-	if train {
-		d.x = x
-	}
-	out := make([][]float32, len(x))
-	for s, row := range x {
+	// Validate before fanning out: a panic must fire on the caller's
+	// goroutine, not inside a pool worker.
+	for _, row := range x {
 		if len(row) != d.In {
 			panic(fmt.Sprintf("ml: dense expects %d inputs, got %d", d.In, len(row)))
 		}
-		y := make([]float32, d.Out)
-		copy(y, d.b)
-		for i, xi := range row {
-			if xi == 0 {
-				continue
-			}
-			wRow := d.w[i*d.Out : (i+1)*d.Out]
-			for j, wij := range wRow {
-				y[j] += xi * wij
-			}
-		}
-		out[s] = y
 	}
+	if train {
+		d.x = x
+	}
+	out := sliceRows(len(x), d.Out)
+	denseForward(out, x, d.w, d.b, d.Out)
 	return out
 }
 
-// Backward implements Layer.
+// Backward implements Layer. Three kernels replace the fused serial
+// loop: ∂L/∂input parallel over samples, ∂L/∂W parallel over weight rows
+// (each owned by exactly one worker so accumulation order is fixed), and
+// the small ∂L/∂b reduction serial.
 func (d *Dense) Backward(gradOut [][]float32) [][]float32 {
 	if d.x == nil {
 		panic("ml: dense backward before forward(train)")
 	}
-	gradIn := make([][]float32, len(gradOut))
-	for s, gy := range gradOut {
-		x := d.x[s]
-		gx := make([]float32, d.In)
-		for i, xi := range x {
-			wRow := d.w[i*d.Out : (i+1)*d.Out]
-			dwRow := d.dw[i*d.Out : (i+1)*d.Out]
-			var acc float32
-			for j, g := range gy {
-				acc += g * wRow[j]
-				dwRow[j] += xi * g
-			}
-			gx[i] = acc
-		}
-		for j, g := range gy {
-			d.db[j] += g
-		}
-		gradIn[s] = gx
-	}
+	gradIn := sliceRows(len(gradOut), d.In)
+	denseBackwardInput(gradIn, gradOut, d.w, d.Out)
+	denseBackwardWeights(d.dw, d.x, gradOut, d.Out)
+	denseBackwardBias(d.db, gradOut)
 	return gradIn
+}
+
+// sliceRows allocates an n×dim matrix as one backing array, halving the
+// batch-loop allocation count versus per-row makes.
+func sliceRows(n, dim int) [][]float32 {
+	rows := make([][]float32, n)
+	backing := make([]float32, n*dim)
+	for s := range rows {
+		rows[s] = backing[s*dim : (s+1)*dim]
+	}
+	return rows
 }
 
 // ReLU is the rectified-linear activation.

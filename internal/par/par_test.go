@@ -1,0 +1,159 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachCoversEveryIndexOnce: every index in [0, n) runs exactly
+// once for every worker count, including counts above the pool size.
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	p := NewPool(3)
+	for _, workers := range []int{0, 1, 2, 3, 8, 100} {
+		const n = 1000
+		counts := make([]int32, n)
+		p.ForEach(n, workers, func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+// TestForEachBitIdentical: a body that writes only to its index slot
+// produces byte-identical output at every worker count.
+func TestForEachBitIdentical(t *testing.T) {
+	p := NewPool(4)
+	const n = 4096
+	ref := make([]uint64, n)
+	for i := range ref {
+		ref[i] = uint64(i)*0x9e3779b97f4a7c15 + 1
+	}
+	for _, workers := range []int{1, 2, 3, 8} {
+		got := make([]uint64, n)
+		p.ForEach(n, workers, func(i int) {
+			got[i] = uint64(i)*0x9e3779b97f4a7c15 + 1
+		})
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: slot %d = %x, want %x", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestForEachWorkerIdentities: worker ids observed by the body stay in
+// [0, workers) so they can index per-worker caches.
+func TestForEachWorkerIdentities(t *testing.T) {
+	p := NewPool(4)
+	const n, workers = 512, 3
+	var bad atomic.Int64
+	p.ForEachWorker(n, workers, func(w, i int) {
+		if w < 0 || w >= workers {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Fatalf("%d body calls saw a worker id outside [0,%d)", bad.Load(), workers)
+	}
+}
+
+// TestForEachConcurrentCallers: many goroutines sharing one pool must
+// not interfere (run under -race by scripts/check.sh).
+func TestForEachConcurrentCallers(t *testing.T) {
+	p := NewPool(4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			const n = 256
+			out := make([]int, n)
+			p.ForEach(n, 3, func(i int) { out[i] = g + i })
+			for i := range out {
+				if out[i] != g+i {
+					t.Errorf("goroutine %d: slot %d = %d", g, i, out[i])
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestForEachZeroAndNegative: degenerate n values are no-ops.
+func TestForEachZeroAndNegative(t *testing.T) {
+	p := NewPool(2)
+	ran := false
+	p.ForEach(0, 4, func(int) { ran = true })
+	p.ForEach(-5, 4, func(int) { ran = true })
+	if ran {
+		t.Fatal("body ran for n <= 0")
+	}
+}
+
+// TestScratchRoundTrip: a returned buffer is reused and resliced to the
+// requested length.
+func TestScratchRoundTrip(t *testing.T) {
+	s := Float32s(128)
+	if len(s) != 128 {
+		t.Fatalf("len = %d, want 128", len(s))
+	}
+	for i := range s {
+		s[i] = float32(i)
+	}
+	PutFloat32s(s)
+	// Ask for a smaller slice: a recycled buffer may come back (length
+	// must still be exact), or the pool may have dropped it — both fine.
+	s2 := Float32s(64)
+	if len(s2) != 64 {
+		t.Fatalf("len = %d, want 64", len(s2))
+	}
+	PutFloat32s(s2)
+
+	b := Bytes(64)
+	if len(b) != 64 {
+		t.Fatalf("len = %d, want 64", len(b))
+	}
+	PutBytes(b)
+	d := Float64s(32)
+	if len(d) != 32 {
+		t.Fatalf("len = %d, want 32", len(d))
+	}
+	PutFloat64s(d)
+}
+
+// TestScratchGrows: requesting more than a recycled capacity allocates
+// a correctly-sized buffer instead of returning a short one.
+func TestScratchGrows(t *testing.T) {
+	PutFloat32s(make([]float32, 8))
+	s := Float32s(1 << 12)
+	if len(s) != 1<<12 {
+		t.Fatalf("len = %d, want %d", len(s), 1<<12)
+	}
+}
+
+// TestDefaultPoolForEach covers the package-level convenience wrapper.
+func TestDefaultPoolForEach(t *testing.T) {
+	const n = 100
+	out := make([]int, n)
+	ForEach(n, func(i int) { out[i] = i + 1 })
+	for i := range out {
+		if out[i] != i+1 {
+			t.Fatalf("slot %d = %d", i, out[i])
+		}
+	}
+}
+
+// BenchmarkForEachOverhead measures the fixed cost of a pool dispatch
+// versus the work it fans out (the reason the pool is persistent).
+func BenchmarkForEachOverhead(b *testing.B) {
+	p := NewPool(4)
+	var sink atomic.Int64
+	for i := 0; i < b.N; i++ {
+		p.ForEach(64, 4, func(i int) { sink.Add(int64(i)) })
+	}
+}

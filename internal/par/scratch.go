@@ -1,0 +1,82 @@
+package par
+
+import "sync"
+
+// Scratch arenas for the per-row buffers the encode/decode hot paths
+// need transiently: RHT rotation copies, EDEN centroid values, packed
+// row backings. Each Get hands back a possibly-dirty buffer of the
+// requested length — callers must fully overwrite it — and each Put
+// recycles one for the next caller. Putting back is optional (the GC
+// reclaims unreturned buffers) and never required for correctness, so
+// external callers of quant codecs keep ordinary ownership semantics.
+//
+// The arenas are process-global sync.Pools: concurrent Get/Put from
+// pool workers is safe, and a buffer obtained by one goroutine may be
+// returned by another as long as it is no longer referenced.
+
+var (
+	f32Pool  sync.Pool // *[]float32
+	f64Pool  sync.Pool // *[]float64
+	bytePool sync.Pool // *[]byte
+)
+
+// Float32s returns a float32 scratch buffer of length n. Contents are
+// undefined; the caller must overwrite every element it reads.
+func Float32s(n int) []float32 {
+	if v := f32Pool.Get(); v != nil {
+		if s := *(v.(*[]float32)); cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]float32, n)
+}
+
+// PutFloat32s recycles a buffer obtained from Float32s. The caller must
+// not retain any reference (including subslices) after the call.
+func PutFloat32s(s []float32) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:0]
+	f32Pool.Put(&s)
+}
+
+// Float64s returns a float64 scratch buffer of length n. Contents are
+// undefined; the caller must overwrite every element it reads.
+func Float64s(n int) []float64 {
+	if v := f64Pool.Get(); v != nil {
+		if s := *(v.(*[]float64)); cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+// PutFloat64s recycles a buffer obtained from Float64s.
+func PutFloat64s(s []float64) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:0]
+	f64Pool.Put(&s)
+}
+
+// Bytes returns a byte scratch buffer of length n. Contents are
+// undefined; the caller must overwrite every element it reads.
+func Bytes(n int) []byte {
+	if v := bytePool.Get(); v != nil {
+		if s := *(v.(*[]byte)); cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+// PutBytes recycles a buffer obtained from Bytes.
+func PutBytes(s []byte) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:0]
+	bytePool.Put(&s)
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"trimgrad/internal/fwht"
+	"trimgrad/internal/par"
 	"trimgrad/internal/vecmath"
 )
 
@@ -81,7 +82,9 @@ func (c *edenCodec) Encode(row []float32, seed uint64) (*EncodedRow, error) {
 	if !ok {
 		return nil, fmt.Errorf("quant: eden head width P=%d not in [1,4]", c.p.P)
 	}
-	rot := append([]float32(nil), row...)
+	rot := par.Float32s(n)
+	defer par.PutFloat32s(rot)
+	copy(rot, row)
 	fwht.RandomRotate(rot, seed)
 
 	// Normalize to unit variance for the N(0,1) quantizer.
@@ -94,7 +97,6 @@ func (c *edenCodec) Encode(row []float32, seed uint64) (*EncodedRow, error) {
 	}
 	// Quantize and accumulate the inner products the scale needs.
 	var dotRC, normC2 float64
-	vals := make([]float64, n)
 	for i, r := range rot {
 		var x float64
 		if sigma > 0 {
@@ -103,7 +105,6 @@ func (c *edenCodec) Encode(row []float32, seed uint64) (*EncodedRow, error) {
 		idx := edenIndex(x, centroids)
 		enc.Heads[i] = idx
 		v := edenValue(idx, centroids) * sigma
-		vals[i] = v
 		dotRC += float64(r) * v
 		normC2 += v * v
 		enc.Tails[i] = tailTopQ(r, q)

@@ -188,6 +188,13 @@ func (e *EncodedRow) Validate() error {
 
 // Codec encodes rows into trimmable head/tail form and decodes them back,
 // tolerating any subset of trimmed (missing-tail) coordinates.
+//
+// Implementations hold only their Params: all per-call state (rotation
+// buffers, shared-randomness streams) is derived from the arguments, so
+// concurrent Encode/Decode calls on one Codec are safe. core's parallel
+// paths rely on this, and still cache per-worker codec instances so a
+// future stateful codec degrades to a compile-visible change here rather
+// than a data race.
 type Codec interface {
 	// Name returns the scheme name used in figures and CLI flags.
 	Name() string

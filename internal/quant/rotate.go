@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"trimgrad/internal/fwht"
+	"trimgrad/internal/par"
 	"trimgrad/internal/vecmath"
 	"trimgrad/internal/xrand"
 )
@@ -28,7 +29,12 @@ func (c *rhtCodec) Encode(row []float32, seed uint64) (*EncodedRow, error) {
 	if !vecmath.IsPow2(n) {
 		return nil, fmt.Errorf("quant: rht row length %d is not a power of two", n)
 	}
-	rot := append([]float32(nil), row...)
+	// The rotation buffer is transient (only its sign/tail bits survive
+	// into the EncodedRow), so it comes from the scratch arena instead of
+	// a fresh allocation per row.
+	rot := par.Float32s(n)
+	defer par.PutFloat32s(rot)
+	copy(rot, row)
 	fwht.RandomRotate(rot, seed)
 	scale := fwht.UnbiasedScale(row, rot)
 	if c.p.ScaleMode == ScaleMMSE {
@@ -85,7 +91,9 @@ func (c *rhtLinearCodec) Encode(row []float32, seed uint64) (*EncodedRow, error)
 	if !vecmath.IsPow2(n) {
 		return nil, fmt.Errorf("quant: rht-linear row length %d is not a power of two", n)
 	}
-	rot := append([]float32(nil), row...)
+	rot := par.Float32s(n)
+	defer par.PutFloat32s(rot)
+	copy(rot, row)
 	fwht.RandomRotate(rot, seed)
 	limit := c.p.ClipSigma * vecmath.Std(rot)
 	q := tailWidth(32-c.p.P, c.p.TailBits)

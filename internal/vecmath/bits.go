@@ -18,6 +18,17 @@ func NewBitWriter(nBits int) *BitWriter {
 	return &BitWriter{buf: make([]byte, 0, (nBits+7)/8)}
 }
 
+// BitWriterOver returns a writer that appends into buf, which must be
+// empty (len 0) with enough spare capacity for everything written —
+// exceeding cap(buf) would reallocate and silently detach the writer
+// from the caller's backing array. Returned by value so a local writer
+// never escapes to the heap; this is what lets the wire packer serialize
+// head/tail regions straight into the packet buffer with no per-region
+// allocation.
+func BitWriterOver(buf []byte) BitWriter {
+	return BitWriter{buf: buf[:0]}
+}
+
 // WriteBit appends one bit (the low bit of b).
 func (w *BitWriter) WriteBit(b uint) {
 	if w.nBit%8 == 0 {

@@ -40,21 +40,24 @@ func BuildDataPacket(h Header, heads, tails []uint32) ([]byte, error) {
 	}
 	h.Flags &^= FlagTrimmed | FlagMeta | FlagNaive
 
+	// Serialize both bit regions directly into buf's spare capacity:
+	// FullSize covers header + heads + tails, so neither writer can
+	// outgrow the backing array, and the packet costs one allocation.
 	buf := make([]byte, HeaderSize, h.FullSize())
 	h.marshal(buf)
 
-	hw := vecmath.NewBitWriter(int(h.P) * int(h.Count))
+	hw := vecmath.BitWriterOver(buf[HeaderSize:])
 	for _, v := range heads {
 		hw.WriteBits(uint64(v), int(h.P))
 	}
-	buf = append(buf, hw.Bytes()...)
+	buf = buf[:HeaderSize+len(hw.Bytes())]
 	headEnd := len(buf)
 
-	tw := vecmath.NewBitWriter(int(h.Q) * int(h.Count))
+	tw := vecmath.BitWriterOver(buf[headEnd:])
 	for _, v := range tails {
 		tw.WriteBits(uint64(v), int(h.Q))
 	}
-	buf = append(buf, tw.Bytes()...)
+	buf = buf[:headEnd+len(tw.Bytes())]
 
 	binary.BigEndian.PutUint32(buf[offHeadCRC:], headerChecksum(buf, buf[HeaderSize:headEnd]))
 	binary.BigEndian.PutUint32(buf[offTailCRC:], checksum(buf[headEnd:]))
@@ -148,10 +151,14 @@ func checksum(b []byte) uint32 {
 // Row/Start/Seed/geometry is rejected instead of silently decoding
 // coordinates into the wrong place.
 func headerChecksum(buf []byte, region []byte) uint32 {
-	flags := [1]byte{buf[offFlags] &^ FlagTrimmed}
-	c := crc32.Update(0, castagnoli, buf[:offFlags])
-	c = crc32.Update(c, castagnoli, flags[:])
-	c = crc32.Update(c, castagnoli, buf[offFlags+1:offHeadCRC])
+	// Normalize the flags byte in place for the duration of the CRC and
+	// restore it after: crc32's accelerated castagnoli path defeats
+	// escape analysis, so hashing a stack-local copy of the byte would
+	// heap-allocate on every packet.
+	saved := buf[offFlags]
+	buf[offFlags] = saved &^ FlagTrimmed
+	c := crc32.Update(0, castagnoli, buf[:offHeadCRC])
+	buf[offFlags] = saved
 	return crc32.Update(c, castagnoli, region)
 }
 

@@ -26,6 +26,7 @@ func PackRow(flow, message, rowID uint32, enc *quant.EncodedRow) (meta []byte, d
 	meta = BuildMetaPacket(base, uint8(enc.Scheme), uint32(enc.N), enc.Scale)
 
 	per := CoordsPerPacket(enc.P, enc.Q)
+	data = make([][]byte, 0, (enc.N+per-1)/per)
 	for start := 0; start < enc.N; start += per {
 		end := start + per
 		if end > enc.N {

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# bench.sh — trimgrad's benchmark-trajectory harness.
+#
+# Runs the hot-path benchmark suite (the BenchmarkHot* family in
+# bench_test.go: encode+decode round, matmul kernels, ml epoch — each
+# with serial and parallel variants) plus the per-figure micro
+# benchmarks, and converts the output into BENCH_<date>.json via
+# tools/benchjson. Each checked-in BENCH file is one point on the perf
+# trajectory; the "speedups" section pairs every */serial with its
+# */parallel sibling on the hardware the script ran on.
+#
+# Usage:
+#   scripts/bench.sh                 run suite, write BENCH_<today>.json
+#   BENCH_DATE=2026-08-06 scripts/bench.sh   pin the date stamp
+#   BENCH_PATTERN='Hot' scripts/bench.sh     restrict which benchmarks run
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+date=${BENCH_DATE:-$(date +%Y-%m-%d)}
+pattern=${BENCH_PATTERN:-'Hot|Fig5|FWHT|E5WirePack'}
+out="BENCH_${date}.json"
+raw=$(mktemp /tmp/trimgrad-bench.XXXXXX.txt)
+trap 'rm -f "$raw"' EXIT
+
+echo "== go test -bench '$pattern' (benchmem, 3x)"
+go test -run '^$' -bench "$pattern" -benchmem -count=1 -benchtime 3x . | tee "$raw"
+
+echo "== benchjson -> $out"
+go run ./tools/benchjson -date "$date" -o "$out" < "$raw"
+echo "wrote $out"

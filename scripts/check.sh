@@ -7,6 +7,9 @@
 #                             runs the test suite with -short
 #   scripts/check.sh -chaos   fault-injection pass only: race-enabled chaos,
 #                             fault, and duplicate-delivery regression tests
+#   scripts/check.sh -bench   perf smoke only: the BenchmarkHot* suite runs
+#                             clean under -race with live obs registries,
+#                             and the obs overhead guard still holds
 #
 # Every step must pass; the script stops at the first failure.
 set -euo pipefail
@@ -16,9 +19,19 @@ mode=full
 case "${1:-}" in
   -short) mode=short ;;
   -chaos) mode=chaos ;;
+  -bench) mode=bench ;;
 esac
 
 step() { echo "== $*"; }
+
+if [[ $mode == bench ]]; then
+  step "go test -race -bench Hot (hot-path suite, live registries)"
+  go test -race -run '^$' -bench 'Hot' -benchtime 1x .
+  step "obs overhead guard (encode hot path, Nop vs live registry)"
+  go test -run 'TestObsOverheadGuard' -count=1 .
+  echo "OK (bench smoke)"
+  exit 0
+fi
 
 if [[ $mode == chaos ]]; then
   step "go test -race (chaos/fault/duplicate regressions)"

@@ -1,0 +1,200 @@
+// Command benchjson converts `go test -bench` text output into the
+// repo's benchmark-trajectory JSON (BENCH_<date>.json, written by
+// scripts/bench.sh). It parses the standard benchmark line format —
+//
+//	BenchmarkHotMatmul/serial-4  100  123456 ns/op  12.3 MB/s  88 B/op  2 allocs/op
+//
+// plus the goos/goarch/pkg/cpu preamble, and emits one JSON document
+// with every benchmark's numbers and, for each Benchmark<name> that has
+// both a `<name>/serial` and a `<name>/parallel` variant, the
+// serial/parallel speedup. Those pairs are the perf pass's acceptance
+// numbers: the file records what was measured on this hardware, and
+// comparing files across dates gives the trajectory.
+//
+// The date is a required flag rather than the wall clock so reruns over
+// a saved benchmark log are reproducible byte for byte.
+//
+// Usage:
+//
+//	go test -bench 'Hot' . | benchjson -date 2026-08-06 -o BENCH_2026-08-06.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string  `json:"name"` // full sub-benchmark path, -N suffix stripped
+	Procs       int     `json:"procs"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Speedup pairs a benchmark's serial and parallel variants.
+type Speedup struct {
+	Name       string  `json:"name"`
+	SerialNs   float64 `json:"serial_ns_per_op"`
+	ParallelNs float64 `json:"parallel_ns_per_op"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// Report is the whole BENCH_<date>.json document.
+type Report struct {
+	Date       string      `json:"date"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	Speedups   []Speedup   `json:"speedups,omitempty"`
+}
+
+func main() {
+	date := flag.String("date", "", "ISO date stamped into the report (required)")
+	out := flag.String("o", "", "output path (default stdout)")
+	flag.Parse()
+	if *date == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -date is required")
+		os.Exit(2)
+	}
+
+	rep := Report{Date: *date, GoVersion: runtime.Version()}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		parseLine(&rep, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	rep.Speedups = speedups(rep.Benchmarks)
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: encode: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine folds one line of `go test -bench` output into rep: either a
+// preamble key (goos/goarch/pkg/cpu) or a Benchmark result line. Other
+// lines (PASS, ok, test logs) are ignored.
+func parseLine(rep *Report, line string) {
+	for _, p := range []struct {
+		prefix string
+		dst    *string
+	}{
+		{"goos: ", &rep.GOOS},
+		{"goarch: ", &rep.GOARCH},
+		{"pkg: ", &rep.Pkg},
+		{"cpu: ", &rep.CPU},
+	} {
+		if strings.HasPrefix(line, p.prefix) {
+			*p.dst = strings.TrimSpace(strings.TrimPrefix(line, p.prefix))
+			return
+		}
+	}
+	f := strings.Fields(line)
+	if len(f) < 3 || !strings.HasPrefix(f[0], "Benchmark") {
+		return
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return
+	}
+	b := Benchmark{Iterations: iters, Procs: 1}
+	b.Name, b.Procs = splitProcs(strings.TrimPrefix(f[0], "Benchmark"))
+	// Remaining fields come in "<value> <unit>" pairs.
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return
+		}
+		switch f[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+		case "MB/s":
+			b.MBPerS = v
+		case "B/op":
+			b.BytesPerOp = int64(v)
+		case "allocs/op":
+			b.AllocsPerOp = int64(v)
+		}
+	}
+	if b.NsPerOp == 0 {
+		return
+	}
+	rep.Benchmarks = append(rep.Benchmarks, b)
+}
+
+// splitProcs strips the trailing -N GOMAXPROCS suffix the bench runner
+// appends when GOMAXPROCS > 1 (the suffix follows the last path segment,
+// so splitting on the final dash is safe only when what follows is a
+// number).
+func splitProcs(name string) (string, int) {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name, 1
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil || n <= 0 {
+		return name, 1
+	}
+	return name[:i], n
+}
+
+// speedups pairs every `<base>/serial` with its `<base>/parallel`
+// sibling, in name order.
+func speedups(benchmarks []Benchmark) []Speedup {
+	byName := make(map[string]Benchmark, len(benchmarks))
+	var bases []string
+	for _, b := range benchmarks {
+		byName[b.Name] = b
+		if base, ok := strings.CutSuffix(b.Name, "/serial"); ok {
+			bases = append(bases, base)
+		}
+	}
+	sort.Strings(bases)
+	var out []Speedup
+	for _, base := range bases {
+		ser := byName[base+"/serial"]
+		par, ok := byName[base+"/parallel"]
+		if !ok || ser.NsPerOp == 0 || par.NsPerOp == 0 {
+			continue
+		}
+		out = append(out, Speedup{
+			Name:       base,
+			SerialNs:   ser.NsPerOp,
+			ParallelNs: par.NsPerOp,
+			Speedup:    ser.NsPerOp / par.NsPerOp,
+		})
+	}
+	return out
+}
