@@ -1,0 +1,129 @@
+// Fabric fast-path benchmarks (DESIGN.md §11): the timer-wheel
+// scheduler, the typed-event dispatch, and the pooled packet/buffer
+// arenas. These are trajectory benchmarks — BENCH_<date>.json records
+// them and `benchjson -diff` tracks the numbers across dates — and the
+// pooled-vs-legacy pairs are the acceptance evidence for the allocation
+// claims (TestFabricHopAllocations in internal/netsim pins the hard
+// per-hop budget).
+package trimgrad
+
+import (
+	"testing"
+
+	"trimgrad/internal/netsim"
+	"trimgrad/internal/quant"
+	"trimgrad/internal/wire"
+	"trimgrad/internal/xrand"
+)
+
+// fabricStar builds the 4-host star every hop benchmark runs over, with
+// sink handlers so delivered packets are consumed and recycled.
+func fabricStar(sim *netsim.Sim) *netsim.Star {
+	link := netsim.LinkConfig{Bandwidth: netsim.Gbps(10), Delay: netsim.Microsecond}
+	star := netsim.BuildStar(sim, 4, link, netsim.QueueConfig{})
+	for _, h := range star.Hosts {
+		h.Handler = func(*netsim.Packet) {}
+	}
+	return star
+}
+
+// BenchmarkFabricHop measures the steady-state cost of one simulated
+// packet crossing the fabric (two hops: host→switch→host), per sending
+// style. "pooled" is the fast path: Sim.NewPacket records recycled on
+// delivery, typed events dispatched without closures. "legacy" replays
+// the pre-wheel idiom — literal packets and a scheduled closure per send
+// — and is the baseline for the ≥2× allocs/hop reduction claim.
+func BenchmarkFabricHop(b *testing.B) {
+	const pkts = 256
+	const hops = pkts * 2
+	for _, style := range []string{"pooled", "legacy"} {
+		pooled := style == "pooled"
+		b.Run(style, func(b *testing.B) {
+			sim := netsim.NewSim()
+			star := fabricStar(sim)
+			send := func() {
+				for j := 0; j < pkts; j++ {
+					src := star.Hosts[j%4]
+					dst := star.Hosts[(j+1)%4].ID()
+					if pooled {
+						pkt := sim.NewPacket()
+						pkt.Dst = dst
+						pkt.Size = 1500
+						src.Send(pkt)
+					} else {
+						pkt := &netsim.Packet{Dst: dst, Size: 1500}
+						sim.At(sim.Now(), func() { src.Send(pkt) })
+					}
+				}
+				sim.Run()
+			}
+			send() // warm the event, packet, and queue pools
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				send()
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*hops), "ns/hop")
+		})
+	}
+}
+
+// BenchmarkFabricWheel measures raw scheduler throughput: events spread
+// across every level of the timer wheel (same-slot, in-window, overflow)
+// with no network attached. This isolates the tentpole — schedule +
+// dispatch cost per event.
+func BenchmarkFabricWheel(b *testing.B) {
+	const events = 4096
+	delays := make([]netsim.Time, events)
+	rng := xrand.New(42)
+	for i := range delays {
+		delays[i] = netsim.Time(rng.Uint64() % uint64(2*netsim.Millisecond))
+	}
+	fn := func() {}
+	sim := netsim.NewSim()
+	run := func() {
+		for _, d := range delays {
+			sim.After(d, fn)
+		}
+		sim.Run()
+	}
+	run() // warm the event pool so iterations measure steady state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*events), "ns/event")
+}
+
+// BenchmarkFabricPack measures PackRow with and without the wire arena:
+// "fresh" allocates every meta/data buffer, "arena" recycles them via
+// PackRowTo/PutPacked — the sender-side buffer loop the transport runs
+// per message.
+func BenchmarkFabricPack(b *testing.B) {
+	row := benchRow(1 << 13)
+	c := quant.MustNew(quant.Params{Scheme: quant.RHT})
+	enc, err := c.Encode(row, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := wire.PackRow(1, 2, 3, enc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("arena", func(b *testing.B) {
+		a := wire.NewArena()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			meta, data, err := wire.PackRowTo(a, 1, 2, 3, enc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			wire.PutPacked(a, meta, data)
+		}
+	})
+}

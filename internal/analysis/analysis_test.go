@@ -102,6 +102,7 @@ func TestFixtures(t *testing.T) {
 	}{
 		{"determinism", "testdata/determinism/core"},
 		{"determinism", "testdata/determinism/freepkg"},
+		{"determinism", "testdata/determinism/kinds"},
 		{"determinism", "testdata/determinism/par"},
 		{"swallowed-error", "testdata/swallowederror/fix"},
 		{"float-equality", "testdata/floateq/feq"},

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/types"
 	"strconv"
+	"strings"
 )
 
 // DeterminismAnalyzer enforces the shared-randomness and replayability
@@ -19,9 +20,16 @@ import (
 //     state and its global generator is seeded per-process;
 //   - ranging over a map: Go randomizes map iteration order, so any
 //     output assembled in map order differs run to run.
+//
+// It also enforces the typed-event dispatch pattern the netsim fabric
+// uses for its pooled fast path: a switch over a locally declared
+// `...Kind` enum must cover every declared constant of that type with an
+// explicit case. A kind that falls through (even into a default clause)
+// is an event the scheduler silently mishandles — precisely the class of
+// bug that desynchronizes an otherwise deterministic replay.
 var DeterminismAnalyzer = &Analyzer{
 	Name: "determinism",
-	Doc:  "forbid wall-clock time, math/rand, and map-iteration order in the deterministic packages",
+	Doc:  "forbid wall-clock time, math/rand, and map-iteration order in the deterministic packages; require exhaustive ...Kind dispatch switches",
 	Run:  runDeterminism,
 }
 
@@ -107,8 +115,70 @@ func runDeterminism(p *Pass) {
 				if _, isMap := t.Underlying().(*types.Map); isMap {
 					p.Report(n, "deterministic package %s ranges over a map (%s); iteration order is randomized — iterate sorted keys instead", p.Pkg.Name, t.String())
 				}
+			case *ast.SwitchStmt:
+				checkKindSwitch(p, n)
 			}
 			return true
 		})
+	}
+}
+
+// checkKindSwitch enforces exhaustive dispatch over locally declared
+// `...Kind` enums (the pooled typed-event pattern in netsim's scheduler).
+// Every package-level constant of the tag's type must appear as a case
+// expression; a default clause does not count as coverage, because a new
+// kind absorbed by default is handled by no dispatch arm at all.
+func checkKindSwitch(p *Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	t := p.Pkg.TypeOf(sw.Tag)
+	if t == nil {
+		return
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	if obj.Pkg() != p.Pkg.Types || !strings.HasSuffix(obj.Name(), "Kind") {
+		return
+	}
+	// Enumerate the kind constants. Scope.Names is sorted, so the missing
+	// list below is reported in a stable order.
+	scope := p.Pkg.Types.Scope()
+	var kinds []string
+	for _, name := range scope.Names() {
+		if c, isConst := scope.Lookup(name).(*types.Const); isConst && types.Identical(c.Type(), named) {
+			kinds = append(kinds, name)
+		}
+	}
+	if len(kinds) == 0 {
+		return
+	}
+	covered := make(map[string]bool, len(kinds))
+	for _, stmt := range sw.Body.List {
+		cc, isCase := stmt.(*ast.CaseClause)
+		if !isCase {
+			continue
+		}
+		for _, expr := range cc.List {
+			id, isIdent := expr.(*ast.Ident)
+			if !isIdent {
+				continue
+			}
+			if used := p.Pkg.Info.Uses[id]; used != nil {
+				covered[used.Name()] = true
+			}
+		}
+	}
+	var missing []string
+	for _, name := range kinds {
+		if !covered[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		p.Report(sw, "deterministic package %s switches over %s without a case for %s; typed-event dispatch must cover every kind explicitly — an uncovered kind is an event no arm handles, and a default clause does not count as coverage", p.Pkg.Name, obj.Name(), strings.Join(missing, ", "))
 	}
 }

@@ -1,0 +1,80 @@
+// Package netsim is a determinism-checker fixture for the typed-event
+// dispatch rule: switches over a locally declared `...Kind` enum must
+// cover every constant of that type with an explicit case.
+package netsim
+
+type opKind uint8
+
+const (
+	opSend opKind = iota
+	opRecv
+	opDrop
+)
+
+type record struct{ kind opKind }
+
+// Exhaustive dispatch: every opKind constant has an arm.
+func dispatchFull(r record) int {
+	switch r.kind {
+	case opSend:
+		return 1
+	case opRecv:
+		return 2
+	case opDrop:
+		return 3
+	}
+	return 0
+}
+
+// Multi-expression cases count toward coverage.
+func dispatchGrouped(r record) bool {
+	switch r.kind {
+	case opSend, opRecv:
+		return true
+	case opDrop:
+		return false
+	}
+	return false
+}
+
+func dispatchMissing(r record) { // the drop arm is gone
+	switch r.kind { // want "without a case for opDrop"
+	case opSend:
+	case opRecv:
+	}
+}
+
+// A default clause does not excuse a missing arm: a new kind absorbed by
+// default is handled by no dispatch logic at all.
+func dispatchDefault(r record) {
+	switch r.kind { // want "without a case for opDrop, opRecv"
+	case opSend:
+	default:
+	}
+}
+
+// Enums not following the ...Kind naming convention are out of scope.
+type mode int
+
+const (
+	modeOff mode = iota
+	modeOn
+)
+
+func other(m mode) bool {
+	switch m {
+	case modeOn:
+		return true
+	}
+	return false
+}
+
+// Tagless switches are plain if/else chains, not dispatch.
+func tagless(r record) int {
+	switch {
+	case r.kind == opSend:
+		return 1
+	default:
+		return 0
+	}
+}

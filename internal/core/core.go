@@ -79,6 +79,22 @@ func (m *Message) WireBytes() int {
 	return total
 }
 
+// Release recycles every packet buffer of the message into a and empties
+// the message. Call it only when no packet can still be referenced — in
+// simulation that means after the transport reported the message done or
+// failed (a trimmed packet in flight aliases the sender's buffer). When
+// the transport itself owns release (transport.WithArena), do not also
+// call Release; a buffer must be recycled exactly once.
+func (m *Message) Release(a *wire.Arena) {
+	if a == nil {
+		return
+	}
+	a.PutAll(m.Meta)
+	a.PutAll(m.Data)
+	m.Meta = nil
+	m.Data = nil
+}
+
 // RowSeed derives the shared-randomness seed for one row, combining the
 // epoch and message/row ids exactly as the paper combines the training
 // epoch and collective-communication message ID into the GPU RNG seed.
@@ -93,8 +109,9 @@ func RowSeed(epoch uint64, message, row uint32) uint64 {
 type Option func(*options)
 
 type options struct {
-	cfg Config
-	reg *obs.Registry
+	cfg   Config
+	reg   *obs.Registry
+	arena *wire.Arena
 }
 
 // WithConfig sets the whole codec configuration at once.
@@ -113,6 +130,13 @@ func WithFlow(f uint32) Option { return func(o *options) { o.cfg.Flow = f } }
 // "core.encode.*" counters, decoders "core.decode.*" counters plus the
 // packet-size histogram. Nil (the default) disables instrumentation.
 func WithRegistry(r *obs.Registry) Option { return func(o *options) { o.reg = r } }
+
+// WithArena draws packet buffers from a wire.Arena instead of the
+// allocator. The encoded Message's buffers are then arena-owned: exactly
+// one party must recycle them — Message.Release after local consumption,
+// or the transport stack (transport.WithArena on the same arena) when the
+// message is handed to it. Nil (the default) keeps plain allocation.
+func WithArena(a *wire.Arena) Option { return func(o *options) { o.arena = a } }
 
 // encObs mirrors encode-side accounting into a registry.
 type encObs struct {
@@ -135,6 +159,7 @@ type Encoder struct {
 	cfg   Config
 	codec quant.Codec
 	obs   encObs
+	arena *wire.Arena
 
 	// mu guards codecs, the lazily-grown per-worker codec cache used by
 	// EncodeParallel (slot 0 aliases codec).
@@ -156,7 +181,7 @@ func NewEncoderWith(opts ...Option) (*Encoder, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Encoder{cfg: cfg, codec: codec, obs: newEncObs(o.reg)}, nil
+	return &Encoder{cfg: cfg, codec: codec, obs: newEncObs(o.reg), arena: o.arena}, nil
 }
 
 // NewEncoder builds an encoder for cfg.
@@ -189,7 +214,7 @@ func (e *Encoder) Encode(epoch uint64, msgID uint32, grad []float32) (*Message, 
 		if err != nil {
 			return nil, fmt.Errorf("core: row %d: %w", r, err)
 		}
-		meta, data, err := wire.PackRow(e.cfg.Flow, msgID, uint32(r), enc)
+		meta, data, err := wire.PackRowTo(e.arena, e.cfg.Flow, msgID, uint32(r), enc)
 		if err != nil {
 			return nil, fmt.Errorf("core: row %d: %w", r, err)
 		}

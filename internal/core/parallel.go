@@ -58,7 +58,7 @@ func (e *Encoder) EncodeParallel(epoch uint64, msgID uint32, grad []float32, wor
 			outs[r].err = fmt.Errorf("core: row %d: %w", r, err)
 			return
 		}
-		meta, data, err := wire.PackRow(e.cfg.Flow, msgID, uint32(r), enc)
+		meta, data, err := wire.PackRowTo(e.arena, e.cfg.Flow, msgID, uint32(r), enc)
 		if err != nil {
 			outs[r].err = fmt.Errorf("core: row %d: %w", r, err)
 			return

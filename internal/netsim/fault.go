@@ -107,23 +107,27 @@ func newFaultInjector(sim *Sim, cfg FaultConfig, streamID ...uint64) *FaultInjec
 	return &FaultInjector{sim: sim, cfg: cfg, rng: xrand.New(xrand.Seed(parts...))}
 }
 
-// apply runs the fault pipeline for one packet. admit places a packet in
-// the port queue (the port's normal enqueue path). The order is fixed:
-// burst loss first (a lost packet can't be duplicated), then duplication,
-// then corruption, then reordering.
-func (f *FaultInjector) apply(pkt *Packet, admit func(*Packet)) {
+// apply runs the fault pipeline for one packet entering port p (p.admit is
+// the port's normal enqueue path). The order is fixed: burst loss first (a
+// lost packet can't be duplicated), then duplication, then corruption,
+// then reordering. Reordered packets are held back through a typed pooled
+// event, so chaos runs stay on the closure-free fast path.
+func (f *FaultInjector) apply(pkt *Packet, p *Port) {
 	if f.dropBurst() {
 		f.Stats.BurstDropped++
 		f.obs.burstDropped.Inc()
+		f.sim.releasePacket(pkt)
 		return
 	}
 	if f.cfg.DuplicateRate > 0 && f.rng.Float64() < f.cfg.DuplicateRate {
 		f.Stats.Duplicated++
 		f.obs.duplicated.Inc()
-		admit(pkt.Clone())
+		p.admit(pkt.Clone())
 	}
 	if f.cfg.CorruptRate > 0 && len(pkt.Payload) > 0 && f.rng.Float64() < f.cfg.CorruptRate {
-		pkt = f.corrupt(pkt)
+		orig := pkt
+		pkt = f.corrupt(orig)
+		f.sim.releasePacket(orig)
 	}
 	if f.cfg.ReorderRate > 0 && f.rng.Float64() < f.cfg.ReorderRate {
 		f.Stats.Reordered++
@@ -132,11 +136,10 @@ func (f *FaultInjector) apply(pkt *Packet, admit func(*Packet)) {
 		if delay <= 0 {
 			delay = 10 * Microsecond
 		}
-		held := pkt
-		f.sim.After(delay, func() { admit(held) })
+		f.sim.afterAdmit(delay, p, pkt)
 		return
 	}
-	admit(pkt)
+	p.admit(pkt)
 }
 
 // dropBurst steps the Gilbert-Elliott chain one packet and draws loss.

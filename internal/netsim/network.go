@@ -232,10 +232,11 @@ func (p *Port) Enqueue(pkt *Packet) {
 	if p.down {
 		p.Stats.DownDrops++
 		p.obs.downDrops.Inc()
+		p.sim.releasePacket(pkt)
 		return
 	}
 	if p.faults != nil {
-		p.faults.apply(pkt, p.admit)
+		p.faults.apply(pkt, p)
 		return
 	}
 	p.admit(pkt)
@@ -246,6 +247,7 @@ func (p *Port) admit(pkt *Packet) {
 		// A reordered packet can surface after a flap began.
 		p.Stats.DownDrops++
 		p.obs.downDrops.Inc()
+		p.sim.releasePacket(pkt)
 		return
 	}
 	if p.lossRNG != nil && p.lossRNG.Float64() < p.cfg.LossRate {
@@ -253,6 +255,7 @@ func (p *Port) admit(pkt *Packet) {
 		p.Stats.DroppedBytes += pkt.Size
 		p.obs.dropped.Inc()
 		p.obs.droppedBytes.Add(int64(pkt.Size))
+		p.sim.releasePacket(pkt)
 		return
 	}
 	if p.cfg.ECNThresholdBytes > 0 && p.bytes[PrioNormal] >= p.cfg.ECNThresholdBytes {
@@ -280,6 +283,7 @@ func (p *Port) admit(pkt *Packet) {
 		p.Stats.DroppedBytes += pkt.Size
 		p.obs.dropped.Inc()
 		p.obs.droppedBytes.Add(int64(pkt.Size))
+		p.sim.releasePacket(pkt)
 		return
 	}
 	p.push(pkt)
@@ -316,15 +320,18 @@ func (p *Port) transmitNext() {
 	}
 	p.busy = true
 	tx := Time(int64(pkt.Size) * 8 * int64(Second) / p.link.Bandwidth)
-	p.sim.After(tx, func() {
-		p.Stats.Transmitted++
-		p.obs.transmitted.Inc()
-		// Propagation overlaps with the next serialization.
-		arrival := p.link.Delay
-		peer := p.peer
-		p.sim.After(arrival, func() { peer.Deliver(pkt) })
-		p.transmitNext()
-	})
+	p.sim.afterTxDone(tx, p, pkt)
+}
+
+// onTxDone runs when the port finishes serializing pkt onto the wire: the
+// propagation event is scheduled (it overlaps with the next serialization)
+// and the transmitter moves on. Both follow-ups are typed pooled events,
+// so a packet hop costs no closure allocations.
+func (p *Port) onTxDone(pkt *Packet) {
+	p.Stats.Transmitted++
+	p.obs.transmitted.Inc()
+	p.sim.afterDeliver(p.link.Delay, p.peer, pkt)
+	p.transmitNext()
 }
 
 // Switch is an output-queued switch with static routes.
@@ -361,11 +368,13 @@ func (s *Switch) Deliver(pkt *Packet) {
 	next, ok := s.routes[pkt.Dst]
 	if !ok {
 		s.RouteMisses++
+		s.sim.releasePacket(pkt)
 		return
 	}
 	port, ok := s.ports[next]
 	if !ok {
 		s.RouteMisses++
+		s.sim.releasePacket(pkt)
 		return
 	}
 	port.Enqueue(pkt)
@@ -428,6 +437,7 @@ func (h *Host) Send(pkt *Packet) {
 	}
 	if h.down {
 		h.DownDrops++
+		h.sim.releasePacket(pkt)
 		return
 	}
 	pkt.Src = h.id

@@ -40,11 +40,20 @@ type Packet struct {
 	Trimmed bool
 	// ECE carries an ECN congestion-experienced mark.
 	ECE bool
+
+	// pooled marks a record obtained from Sim.NewPacket. The fabric
+	// recycles pooled records at their terminal point (host delivery or
+	// drop); plain &Packet{} literals stay unpooled and are left to the
+	// GC, so callers that retain packets keep their aliasing freedom.
+	pooled bool
 }
 
-// Clone returns a shallow copy with its own Payload slice.
+// Clone returns a shallow copy with its own Payload slice. The clone is
+// never pooled: it outlives the original on fault-injected paths
+// (duplication, corruption), so it must not be recycled with it.
 func (p *Packet) Clone() *Packet {
 	q := *p
+	q.pooled = false
 	if p.Payload != nil {
 		q.Payload = append([]byte(nil), p.Payload...)
 	}

@@ -14,10 +14,16 @@
 // Everything is deterministic: events at equal timestamps fire in schedule
 // order, and all randomness comes from explicit xrand seeds, so experiment
 // results are exactly reproducible.
+//
+// The scheduler is a hierarchical timer wheel (see DESIGN.md §11): the
+// near future lives in fixed-width slots indexed by time delta, the far
+// future in a heap-backed overflow level, and the hot fabric paths run on
+// pooled typed event records instead of heap-allocated closures. The
+// firing order is bit-identical to a (at, seq)-keyed binary heap — pinned
+// by the differential and fuzz tests in sim_diff_test.go.
 package netsim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 
@@ -35,6 +41,9 @@ const (
 	Second      = 1000 * Millisecond
 )
 
+// maxTime is the RunUntil deadline used by Run: effectively "forever".
+const maxTime = Time(1<<62 - 1)
+
 // Duration converts to a time.Duration for printing.
 func (t Time) Duration() time.Duration { return time.Duration(t) }
 
@@ -44,39 +53,137 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 // String formats the time as a duration.
 func (t Time) String() string { return t.Duration().String() }
 
+// evKind discriminates pooled typed events. The fabric's per-packet paths
+// (serialization done, propagation arrival, fault-delayed re-admission)
+// are typed so a hop costs zero closure allocations; everything else uses
+// evFunc through the public At/After API.
+type evKind uint8
+
+const (
+	// evFunc runs an arbitrary callback (the cold At/After path).
+	evFunc evKind = iota
+	// evTxDone fires when port finishes serializing pkt onto the link.
+	evTxDone
+	// evDeliver hands pkt to node after propagation.
+	evDeliver
+	// evAdmit re-admits a fault-delayed (reordered) pkt into port's queue.
+	evAdmit
+)
+
+// event is one scheduled occurrence. Records are pooled on the owning
+// Sim's free list; only the fields their kind needs are set, and all
+// reference fields are cleared on release so a drained simulator retains
+// nothing it fired (see TestSimDrainedHoldsNoEventReferences).
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	seq  uint64
+	next *event // slot chain / free-list link
+	kind evKind
+	fn   func()  // evFunc
+	port *Port   // evTxDone, evAdmit
+	node Node    // evDeliver
+	pkt  *Packet // evTxDone, evDeliver, evAdmit
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// evLess is the scheduler's total order: time, then schedule sequence.
+func evLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() (popped any) {
-	old := *q
-	n := len(old)
-	popped = old[n-1]
-	*q = old[:n-1]
-	return
+
+// eventHeap is a binary min-heap of events keyed by (at, seq). It backs
+// the wheel's current-tick working set and the far-future overflow level.
+// Unlike container/heap it is monomorphic — no `any` boxing per push —
+// and pop nils the vacated slot so the backing array never retains a
+// fired event.
+type eventHeap []*event
+
+func (h *eventHeap) push(ev *event) {
+	*h = append(*h, ev)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !evLess(q[i], q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
 }
+
+func (h *eventHeap) pop() *event {
+	q := *h
+	n := len(q) - 1
+	top := q[0]
+	q[0], q[n] = q[n], nil // nil the slot: no retained *event in the array
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && evLess(q[l], q[least]) {
+			least = l
+		}
+		if r < n && evLess(q[r], q[least]) {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		q[i], q[least] = q[least], q[i]
+		i = least
+	}
+	return top
+}
+
+// Wheel geometry. A slot spans 2^slotShift nanoseconds (≈4.1 µs — a few
+// packet serializations at 10 Gb/s), and the wheel covers numSlots slots
+// (≈1 ms). Per-packet events (tx, propagation, queueing) land in the
+// wheel; protocol timers (RTOs at 100s of µs after backoff, experiment
+// deadlines) spill into the overflow heap, which is exactly the
+// cheap-near/rare-far split a fabric simulation wants.
+const (
+	slotShift = 12
+	numSlots  = 256
+	slotMask  = numSlots - 1
+)
 
 // Sim is a deterministic discrete-event scheduler. The zero value is not
 // usable; construct with NewSim.
+//
+// Internally it is a two-level timer wheel over pooled event records:
+//
+//   - cur: a small heap holding every pending event with tick ≤ curTick.
+//     Because slot events all have strictly later timestamps, cur's
+//     minimum is the global minimum.
+//   - slots: the wheel proper — events with curTick < tick < curTick+numSlots,
+//     chained per slot in no particular order (ordering is imposed when a
+//     slot is drained into cur).
+//   - overflow: a heap of events at tick ≥ curTick+numSlots, migrated
+//     into the wheel as curTick advances.
+//
+// Invariant: curTick only moves forward, and overflow never holds an
+// event inside the wheel window, so a slot can never alias two ticks.
 type Sim struct {
 	now     Time
 	seq     uint64
-	queue   eventQueue
 	stopped bool
 	obs     *obs.Registry
+
+	curTick  int64
+	cur      eventHeap
+	slots    [numSlots]*event
+	nSlots   int // events resident in slot chains
+	overflow eventHeap
+	npend    int
+
+	freeEv  *event
+	freePkt []*Packet
+
 	// Processed counts executed events (useful in tests and as a runaway
 	// guard).
 	Processed uint64
@@ -102,44 +209,224 @@ func (s *Sim) Obs() *obs.Registry { return s.obs }
 // Now returns the current simulated time.
 func (s *Sim) Now() Time { return s.now }
 
-// At schedules fn at absolute time t. Scheduling in the past panics: that
-// is always a logic bug in a discrete-event model.
-func (s *Sim) At(t Time, fn func()) {
+// allocEvent takes a record off the free list, or makes one.
+func (s *Sim) allocEvent() *event {
+	if ev := s.freeEv; ev != nil {
+		s.freeEv = ev.next
+		ev.next = nil
+		return ev
+	}
+	return &event{}
+}
+
+// releaseEvent clears every reference the record carried and returns it
+// to the free list. Clearing matters: the free list is long-lived, and a
+// retained closure or packet would anchor arbitrarily large object graphs
+// (the leak the old heap implementation had in its backing array).
+func (s *Sim) releaseEvent(ev *event) {
+	ev.fn = nil
+	ev.port = nil
+	ev.node = nil
+	ev.pkt = nil
+	ev.next = s.freeEv
+	s.freeEv = ev
+}
+
+// schedule assigns (at, seq) and places ev in the right level.
+func (s *Sim) schedule(t Time, ev *event) {
 	if t < s.now {
+		s.releaseEvent(ev)
 		panic(fmt.Sprintf("netsim: scheduling at %v before now %v", t, s.now))
 	}
 	s.seq++
-	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+	ev.at = t
+	ev.seq = s.seq
+	s.place(ev)
+}
+
+// place routes ev by tick: at-or-before the current tick into the working
+// heap, inside the wheel window into a slot chain, beyond into overflow.
+func (s *Sim) place(ev *event) {
+	tick := int64(ev.at) >> slotShift
+	switch {
+	case tick <= s.curTick:
+		s.cur.push(ev)
+	case tick < s.curTick+numSlots:
+		idx := tick & slotMask
+		ev.next = s.slots[idx]
+		s.slots[idx] = ev
+		s.nSlots++
+	default:
+		s.overflow.push(ev)
+	}
+	s.npend++
+}
+
+// advance moves curTick to the next tick holding events and drains that
+// tick into cur. Precondition: cur is empty and npend > 0.
+func (s *Sim) advance() {
+	if s.nSlots > 0 {
+		for i := int64(1); i < numSlots; i++ {
+			tick := s.curTick + i
+			idx := tick & slotMask
+			if s.slots[idx] != nil {
+				s.curTick = tick
+				s.drainSlot(idx)
+				s.migrate()
+				return
+			}
+		}
+	}
+	// Wheel empty: jump straight to the overflow minimum's tick.
+	s.curTick = int64(s.overflow[0].at) >> slotShift
+	s.migrate()
+}
+
+// drainSlot moves a slot chain into the working heap.
+func (s *Sim) drainSlot(idx int64) {
+	ev := s.slots[idx]
+	s.slots[idx] = nil
+	for ev != nil {
+		next := ev.next
+		ev.next = nil
+		s.cur.push(ev)
+		s.nSlots--
+		ev = next
+	}
+}
+
+// migrate restores the overflow invariant after curTick advanced: any
+// event now inside the wheel window moves into its slot (or into cur if
+// its tick is the current one).
+func (s *Sim) migrate() {
+	limit := s.curTick + numSlots
+	for len(s.overflow) > 0 && int64(s.overflow[0].at)>>slotShift < limit {
+		ev := s.overflow.pop()
+		s.npend-- // place re-counts it
+		s.place(ev)
+	}
+}
+
+// At schedules fn at absolute time t. Scheduling in the past panics: that
+// is always a logic bug in a discrete-event model.
+func (s *Sim) At(t Time, fn func()) {
+	ev := s.allocEvent()
+	ev.kind = evFunc
+	ev.fn = fn
+	s.schedule(t, ev)
 }
 
 // After schedules fn d nanoseconds from now.
 func (s *Sim) After(d Time, fn func()) { s.At(s.now+d, fn) }
 
+// afterTxDone schedules the typed serialization-complete event for port p.
+func (s *Sim) afterTxDone(d Time, p *Port, pkt *Packet) {
+	ev := s.allocEvent()
+	ev.kind = evTxDone
+	ev.port = p
+	ev.pkt = pkt
+	s.schedule(s.now+d, ev)
+}
+
+// afterDeliver schedules the typed propagation-arrival event at node n.
+func (s *Sim) afterDeliver(d Time, n Node, pkt *Packet) {
+	ev := s.allocEvent()
+	ev.kind = evDeliver
+	ev.node = n
+	ev.pkt = pkt
+	s.schedule(s.now+d, ev)
+}
+
+// afterAdmit schedules the typed fault-delay re-admission event at port p.
+func (s *Sim) afterAdmit(d Time, p *Port, pkt *Packet) {
+	ev := s.allocEvent()
+	ev.kind = evAdmit
+	ev.port = p
+	ev.pkt = pkt
+	s.schedule(s.now+d, ev)
+}
+
+// dispatch runs one event. The switch must cover every evKind — trimlint's
+// determinism checker verifies exhaustiveness, because a silently dropped
+// kind would desynchronize replay.
+func (s *Sim) dispatch(ev *event) {
+	switch ev.kind {
+	case evFunc:
+		ev.fn()
+	case evTxDone:
+		ev.port.onTxDone(ev.pkt)
+	case evDeliver:
+		ev.node.Deliver(ev.pkt)
+		// A host is the packet's terminal hop: once Deliver returned, the
+		// fabric owns the record again and can recycle it. Switches
+		// forward, so their packets stay live.
+		if _, isHost := ev.node.(*Host); isHost {
+			s.releasePacket(ev.pkt)
+		}
+	case evAdmit:
+		ev.port.admit(ev.pkt)
+	}
+}
+
 // Stop makes Run return after the current event.
 func (s *Sim) Stop() { s.stopped = true }
 
 // Run executes events until the queue is empty or Stop is called.
-func (s *Sim) Run() { s.RunUntil(Time(1<<62 - 1)) }
+func (s *Sim) Run() { s.RunUntil(maxTime) }
 
 // RunUntil executes events with timestamps ≤ deadline, advancing the clock
 // to each event's time. The clock finishes at min(deadline, last event).
 func (s *Sim) RunUntil(deadline Time) {
 	s.stopped = false
-	for len(s.queue) > 0 && !s.stopped {
-		ev := s.queue[0]
+	for s.npend > 0 && !s.stopped {
+		if len(s.cur) == 0 {
+			s.advance()
+		}
+		ev := s.cur[0]
 		if ev.at > deadline {
 			s.now = deadline
 			return
 		}
-		heap.Pop(&s.queue)
+		s.cur.pop()
+		s.npend--
 		s.now = ev.at
 		s.Processed++
-		ev.fn()
+		s.dispatch(ev)
+		s.releaseEvent(ev)
 	}
-	if s.now < deadline && deadline < Time(1<<62-1) {
+	if s.now < deadline && deadline < maxTime {
 		s.now = deadline
 	}
 }
 
 // Pending returns the number of queued events.
-func (s *Sim) Pending() int { return len(s.queue) }
+func (s *Sim) Pending() int { return s.npend }
+
+// NewPacket returns a zeroed packet from the simulator's pool. Pooled
+// packets are recycled by the fabric at their terminal point — delivery
+// to a host, or any drop (queue overflow, random loss, down port or host,
+// route miss, burst loss) — so steady-state traffic allocates no packet
+// records. The caller must treat the packet as gone once it is handed to
+// Host.Send / Port.Enqueue; in particular a handler must not retain it
+// past Deliver. Packets built with a plain &Packet{} literal are never
+// recycled, so existing callers and tests keep their aliasing freedom.
+func (s *Sim) NewPacket() *Packet {
+	if n := len(s.freePkt); n > 0 {
+		p := s.freePkt[n-1]
+		s.freePkt[n-1] = nil
+		s.freePkt = s.freePkt[:n-1]
+		return p
+	}
+	return &Packet{pooled: true}
+}
+
+// releasePacket recycles a pooled packet record. Unpooled packets (plain
+// literals) pass through untouched. All fields are cleared so the pool
+// never anchors payload buffers or control structs.
+func (s *Sim) releasePacket(p *Packet) {
+	if p == nil || !p.pooled {
+		return
+	}
+	*p = Packet{pooled: true}
+	s.freePkt = append(s.freePkt, p)
+}

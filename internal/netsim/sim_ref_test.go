@@ -1,0 +1,81 @@
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// refSim is the scheduler this package shipped before the timer wheel: a
+// container/heap binary heap of closure events ordered by (at, seq). It
+// is kept verbatim as the executable specification of the event order —
+// the differential and fuzz tests in sim_diff_test.go require the wheel
+// to replay it bit for bit.
+type refEvent struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type refQueue []*refEvent
+
+func (q refQueue) Len() int { return len(q) }
+func (q refQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q refQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *refQueue) Push(x any)   { *q = append(*q, x.(*refEvent)) }
+func (q *refQueue) Pop() any {
+	old := *q
+	n := len(old) - 1
+	ev := old[n]
+	old[n] = nil
+	*q = old[:n]
+	return ev
+}
+
+type refSim struct {
+	now       Time
+	seq       uint64
+	queue     refQueue
+	stopped   bool
+	processed uint64
+}
+
+func (s *refSim) Now() Time { return s.now }
+
+func (s *refSim) At(t Time, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("netsim: scheduling at %v before now %v", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.queue, &refEvent{at: t, seq: s.seq, fn: fn})
+}
+
+func (s *refSim) After(d Time, fn func()) { s.At(s.now+d, fn) }
+
+func (s *refSim) Stop() { s.stopped = true }
+
+func (s *refSim) Run() { s.RunUntil(maxTime) }
+
+func (s *refSim) RunUntil(deadline Time) {
+	s.stopped = false
+	for len(s.queue) > 0 && !s.stopped {
+		ev := s.queue[0]
+		if ev.at > deadline {
+			s.now = deadline
+			return
+		}
+		heap.Pop(&s.queue)
+		s.now = ev.at
+		s.processed++
+		ev.fn()
+	}
+	if s.now < deadline && deadline < maxTime {
+		s.now = deadline
+	}
+}
+
+func (s *refSim) Pending() int { return len(s.queue) }

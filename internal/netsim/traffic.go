@@ -52,10 +52,13 @@ func (c *CrossTraffic) scheduleNext() {
 		if c.stopped {
 			return
 		}
-		c.Host.Send(&Packet{
-			Dst: c.Dst, Size: c.PacketSize, Prio: c.Prio,
-			Kind: "cross", FlowID: math.MaxUint64,
-		})
+		pkt := c.Host.sim.NewPacket()
+		pkt.Dst = c.Dst
+		pkt.Size = c.PacketSize
+		pkt.Prio = c.Prio
+		pkt.Kind = "cross"
+		pkt.FlowID = math.MaxUint64
+		c.Host.Send(pkt)
 		c.Sent++
 		c.scheduleNext()
 	})

@@ -80,18 +80,18 @@ func (tx *relSender) transmit(idx int) {
 	tx.inFlight[idx] = true
 	tx.stack.Stats.DataSent++
 	tx.stack.obs.dataSent.Inc()
-	tx.stack.host.Send(&netsim.Packet{
-		Dst:     tx.dst,
-		Size:    payloadSize(tx.payloads[idx]),
-		Payload: tx.payloads[idx],
-		Kind:    "rel-data",
-		FlowID:  uint64(tx.id),
-		Seq:     uint64(idx),
-		Control: relData{
-			MsgID: tx.id, Idx: idx, Total: len(tx.payloads),
-			Sum: payloadSum(tx.payloads[idx]),
-		},
-	})
+	pkt := tx.stack.sim.NewPacket()
+	pkt.Dst = tx.dst
+	pkt.Size = payloadSize(tx.payloads[idx])
+	pkt.Payload = tx.payloads[idx]
+	pkt.Kind = "rel-data"
+	pkt.FlowID = uint64(tx.id)
+	pkt.Seq = uint64(idx)
+	pkt.Control = relData{
+		MsgID: tx.id, Idx: idx, Total: len(tx.payloads),
+		Sum: payloadSum(tx.payloads[idx]),
+	}
+	tx.stack.host.Send(pkt)
 }
 
 func (tx *relSender) armTimer() {
@@ -114,6 +114,7 @@ func (tx *relSender) onTimeout() {
 		tx.stack.Stats.Failures++
 		tx.stack.obs.failures.Inc()
 		delete(tx.stack.relTx, msgKey{tx.dst, tx.id})
+		tx.stack.releasePayloads(tx.payloads)
 		if tx.failed != nil {
 			tx.failed(ErrRetriesExhausted)
 		}
@@ -175,6 +176,7 @@ func (tx *relSender) onAck(a relAck) {
 	if tx.nAcked == len(tx.payloads) {
 		tx.finished = true
 		delete(tx.stack.relTx, msgKey{tx.dst, tx.id})
+		tx.stack.releasePayloads(tx.payloads)
 		if tx.done != nil {
 			tx.done(tx.stack.sim.Now())
 		}
@@ -206,13 +208,13 @@ func (s *Stack) handleRelData(p *netsim.Packet, c relData) {
 	// too — the original ack may have been the casualty.
 	s.Stats.AcksSent++
 	s.obs.acksSent.Inc()
-	s.host.Send(&netsim.Packet{
-		Dst:     p.Src,
-		Size:    ackSize,
-		Prio:    netsim.PrioHigh,
-		Kind:    "rel-ack",
-		Control: relAck{MsgID: c.MsgID, Idx: c.Idx, Total: c.Total, ECE: p.ECE},
-	})
+	ack := s.sim.NewPacket()
+	ack.Dst = p.Src
+	ack.Size = ackSize
+	ack.Prio = netsim.PrioHigh
+	ack.Kind = "rel-ack"
+	ack.Control = relAck{MsgID: c.MsgID, Idx: c.Idx, Total: c.Total, ECE: p.ECE}
+	s.host.Send(ack)
 	if c.Idx < 0 || c.Idx >= len(rx.got) {
 		return
 	}

@@ -130,6 +130,10 @@ type Stack struct {
 
 	Stats Stats
 
+	// arena, when set, receives the sender-side payload buffers of every
+	// finished message (done or failed) for reuse by the next encode.
+	arena *wire.Arena
+
 	relTx  map[msgKey]*relSender
 	relRx  map[msgKey]*relReceiver
 	trimTx map[msgKey]*trimSender
@@ -180,9 +184,10 @@ type msgKey struct {
 type Opt func(*stackOpts)
 
 type stackOpts struct {
-	cfg Config
-	reg *obs.Registry
-	rcv Receiver
+	cfg   Config
+	reg   *obs.Registry
+	rcv   Receiver
+	arena *wire.Arena
 }
 
 // WithConfig sets the protocol configuration (zero fields take defaults).
@@ -196,6 +201,17 @@ func WithRegistry(r *obs.Registry) Opt { return func(o *stackOpts) { o.reg = r }
 // WithReceiver sets the payload consumer at construction time.
 func WithReceiver(rcv Receiver) Opt { return func(o *stackOpts) { o.rcv = rcv } }
 
+// WithArena transfers ownership of sender-side payload buffers to the
+// stack: when a message finishes (acknowledged in full, every packet
+// accounted for, or the retry budget exhausted) its payload slices are
+// recycled into a for the next encode. The caller must stop touching the
+// buffers once SendReliable/SendTrimmable returns, and must not also
+// release them itself (core's Message.Release). See DESIGN.md §11 for
+// when recycling is safe — it requires that no alias of a finished
+// message's buffers can still be in flight, which holds under drops and
+// trims but not under reorder/duplicate fault injection.
+func WithArena(a *wire.Arena) Opt { return func(o *stackOpts) { o.arena = a } }
+
 // New attaches a transport stack to h, configured by options.
 func New(h *netsim.Host, opts ...Opt) *Stack {
 	o := stackOpts{reg: h.Sim().Obs()}
@@ -208,6 +224,7 @@ func New(h *netsim.Host, opts ...Opt) *Stack {
 		cfg:      o.cfg.withDefaults(),
 		obs:      newStackObs(o.reg, h.ID()),
 		Receiver: o.rcv,
+		arena:    o.arena,
 		relTx:    make(map[msgKey]*relSender),
 		relRx:    make(map[msgKey]*relReceiver),
 		trimTx:   make(map[msgKey]*trimSender),
@@ -246,6 +263,21 @@ func (s *Stack) handle(p *netsim.Packet) {
 		s.handleTrimNack(p, c)
 	default:
 		// Opaque cross traffic: ignore.
+	}
+}
+
+// releasePayloads recycles a finished message's sender-side buffers into
+// the stack's arena (a no-op without one). Buffer slots are nil-ed so a
+// stray late callback cannot double-release.
+func (s *Stack) releasePayloads(sets ...[][]byte) {
+	if s.arena == nil {
+		return
+	}
+	for _, set := range sets {
+		for i, b := range set {
+			s.arena.Put(b)
+			set[i] = nil
+		}
 	}
 }
 

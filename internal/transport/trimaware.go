@@ -84,35 +84,35 @@ func (s *Stack) SendTrimmable(dst netsim.NodeID, id uint32, metas, data [][]byte
 }
 
 func (tx *trimSender) sendMeta(idx int) {
-	tx.stack.host.Send(&netsim.Packet{
-		Dst:     tx.dst,
-		Size:    payloadSize(tx.metas[idx]),
-		Prio:    netsim.PrioHigh,
-		Payload: tx.metas[idx],
-		Kind:    "trim-meta",
-		FlowID:  uint64(tx.id),
-		Control: trimMeta{
-			MsgID: tx.id, Idx: idx, Total: len(tx.metas),
-			Sum: payloadSum(tx.metas[idx]),
-		},
-	})
+	pkt := tx.stack.sim.NewPacket()
+	pkt.Dst = tx.dst
+	pkt.Size = payloadSize(tx.metas[idx])
+	pkt.Prio = netsim.PrioHigh
+	pkt.Payload = tx.metas[idx]
+	pkt.Kind = "trim-meta"
+	pkt.FlowID = uint64(tx.id)
+	pkt.Control = trimMeta{
+		MsgID: tx.id, Idx: idx, Total: len(tx.metas),
+		Sum: payloadSum(tx.metas[idx]),
+	}
+	tx.stack.host.Send(pkt)
 }
 
 func (tx *trimSender) sendData(idx int) {
 	tx.stack.Stats.DataSent++
 	tx.stack.obs.dataSent.Inc()
-	tx.stack.host.Send(&netsim.Packet{
-		Dst:     tx.dst,
-		Size:    payloadSize(tx.data[idx]),
-		Payload: tx.data[idx],
-		Kind:    "trim-data",
-		FlowID:  uint64(tx.id),
-		Seq:     uint64(idx),
-		Control: trimData{
-			MsgID: tx.id, Idx: idx, Total: len(tx.data),
-			Sum: payloadSum(tx.data[idx]),
-		},
-	})
+	pkt := tx.stack.sim.NewPacket()
+	pkt.Dst = tx.dst
+	pkt.Size = payloadSize(tx.data[idx])
+	pkt.Payload = tx.data[idx]
+	pkt.Kind = "trim-data"
+	pkt.FlowID = uint64(tx.id)
+	pkt.Seq = uint64(idx)
+	pkt.Control = trimData{
+		MsgID: tx.id, Idx: idx, Total: len(tx.data),
+		Sum: payloadSum(tx.data[idx]),
+	}
+	tx.stack.host.Send(pkt)
 }
 
 func (tx *trimSender) armTimer() {
@@ -137,6 +137,7 @@ func (tx *trimSender) onTimeout() {
 		tx.stack.Stats.Failures++
 		tx.stack.obs.failures.Inc()
 		delete(tx.stack.trimTx, msgKey{tx.dst, tx.id})
+		tx.stack.releasePayloads(tx.metas, tx.data)
 		if tx.failed != nil {
 			tx.failed(ErrRetriesExhausted)
 		}
@@ -194,6 +195,7 @@ func (tx *trimSender) onDone() {
 	}
 	tx.finished = true
 	delete(tx.stack.trimTx, msgKey{tx.dst, tx.id})
+	tx.stack.releasePayloads(tx.metas, tx.data)
 	if tx.done != nil {
 		tx.done(tx.stack.sim.Now())
 	}
@@ -236,13 +238,13 @@ func (s *Stack) handleTrimMeta(p *netsim.Packet, c trimMeta) {
 	// Always ack, even duplicates: the ack may have been lost.
 	s.Stats.AcksSent++
 	s.obs.acksSent.Inc()
-	s.host.Send(&netsim.Packet{
-		Dst:     p.Src,
-		Size:    ackSize,
-		Prio:    netsim.PrioHigh,
-		Kind:    "trim-meta-ack",
-		Control: trimMetaAck{MsgID: c.MsgID, Idx: c.Idx},
-	})
+	ack := s.sim.NewPacket()
+	ack.Dst = p.Src
+	ack.Size = ackSize
+	ack.Prio = netsim.PrioHigh
+	ack.Kind = "trim-meta-ack"
+	ack.Control = trimMetaAck{MsgID: c.MsgID, Idx: c.Idx}
+	s.host.Send(ack)
 	if c.Idx < 0 || c.Idx >= len(rx.metaGot) {
 		return
 	}
@@ -323,13 +325,13 @@ func (rx *trimReceiver) maybeComplete() {
 }
 
 func (rx *trimReceiver) sendDone() {
-	rx.stack.host.Send(&netsim.Packet{
-		Dst:     rx.src,
-		Size:    ackSize,
-		Prio:    netsim.PrioHigh,
-		Kind:    "trim-done",
-		Control: trimDone{MsgID: rx.id},
-	})
+	pkt := rx.stack.sim.NewPacket()
+	pkt.Dst = rx.src
+	pkt.Size = ackSize
+	pkt.Prio = netsim.PrioHigh
+	pkt.Kind = "trim-done"
+	pkt.Control = trimDone{MsgID: rx.id}
+	rx.stack.host.Send(pkt)
 }
 
 // armNack schedules a gap check one RTO after the most recent data
@@ -355,13 +357,13 @@ func (rx *trimReceiver) armNack() {
 		}
 		rx.stack.Stats.NacksSent++
 		rx.stack.obs.nacksSent.Inc()
-		rx.stack.host.Send(&netsim.Packet{
-			Dst:     rx.src,
-			Size:    ackSize + 4*len(missing),
-			Prio:    netsim.PrioHigh,
-			Kind:    "trim-nack",
-			Control: trimNack{MsgID: rx.id, Missing: missing},
-		})
+		pkt := rx.stack.sim.NewPacket()
+		pkt.Dst = rx.src
+		pkt.Size = ackSize + 4*len(missing)
+		pkt.Prio = netsim.PrioHigh
+		pkt.Kind = "trim-nack"
+		pkt.Control = trimNack{MsgID: rx.id, Missing: missing}
+		rx.stack.host.Send(pkt)
 		rx.armNack()
 	})
 }

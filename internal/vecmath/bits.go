@@ -42,12 +42,56 @@ func (w *BitWriter) WriteBit(b uint) {
 
 // WriteBits appends the low width bits of v, most significant bit first.
 // It panics if width is outside [0, 64].
+//
+// The implementation is word-at-a-time: it splits v into a leading
+// partial-byte fill, whole-byte stores, and a trailing partial byte,
+// instead of looping bit by bit. The byte layout is identical to repeated
+// WriteBit calls (pinned by TestWriteBitsMatchesBitAtATime).
 func (w *BitWriter) WriteBits(v uint64, width int) {
 	if width < 0 || width > 64 {
 		panic("vecmath: BitWriter width out of range")
 	}
-	for i := width - 1; i >= 0; i-- {
-		w.WriteBit(uint(v >> uint(i)))
+	if width == 0 {
+		return
+	}
+	if width < 64 {
+		v &= 1<<uint(width) - 1
+	}
+	// Extend the buffer to cover every bit about to land. New bytes are
+	// zeroed explicitly: in BitWriterOver mode the spare capacity may hold
+	// stale data from a recycled packet buffer.
+	need := (w.nBit + width + 7) / 8
+	if old := len(w.buf); old < need {
+		if need <= cap(w.buf) {
+			w.buf = w.buf[:need]
+		} else {
+			w.buf = append(w.buf, make([]byte, need-old)...)
+		}
+		for i := old; i < need; i++ {
+			w.buf[i] = 0
+		}
+	}
+	pos := w.nBit
+	w.nBit += width
+	// Fill the current partial byte first (its written bits must be kept).
+	if off := pos & 7; off != 0 {
+		free := 8 - off
+		if width <= free {
+			w.buf[pos>>3] |= byte(v << uint(free-width))
+			return
+		}
+		w.buf[pos>>3] |= byte(v >> uint(width-free))
+		width -= free
+		pos += free
+	}
+	// Whole bytes, most significant chunk first.
+	for width >= 8 {
+		width -= 8
+		w.buf[pos>>3] = byte(v >> uint(width))
+		pos += 8
+	}
+	if width > 0 {
+		w.buf[pos>>3] = byte(v << uint(8-width))
 	}
 }
 
@@ -93,6 +137,10 @@ func (r *BitReader) ReadBit() (uint, bool) {
 // ReadBits returns the next width bits as an MSB-first integer, or
 // (0, false) if fewer than width bits remain. It panics if width is
 // outside [0, 64].
+//
+// Like WriteBits it consumes whole bytes at a time: a leading partial
+// byte, then full bytes, then a trailing partial byte. The value read is
+// identical to repeated ReadBit calls.
 func (r *BitReader) ReadBits(width int) (uint64, bool) {
 	if width < 0 || width > 64 {
 		panic("vecmath: BitReader width out of range")
@@ -100,10 +148,27 @@ func (r *BitReader) ReadBits(width int) (uint64, bool) {
 	if r.pos+width > r.nBit {
 		return 0, false
 	}
+	pos := r.pos
+	r.pos += width
 	var v uint64
-	for i := 0; i < width; i++ {
-		b, _ := r.ReadBit()
-		v = v<<1 | uint64(b)
+	// Leading partial byte: take its low (8-off) bits.
+	if off := pos & 7; off != 0 {
+		avail := 8 - off
+		b := uint64(r.buf[pos>>3]) & (1<<uint(avail) - 1)
+		if width <= avail {
+			return b >> uint(avail-width), true
+		}
+		v = b
+		width -= avail
+		pos += avail
+	}
+	for width >= 8 {
+		v = v<<8 | uint64(r.buf[pos>>3])
+		pos += 8
+		width -= 8
+	}
+	if width > 0 {
+		v = v<<uint(width) | uint64(r.buf[pos>>3]>>uint(8-width))
 	}
 	return v, true
 }

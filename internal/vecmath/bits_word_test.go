@@ -1,0 +1,155 @@
+package vecmath
+
+import (
+	"bytes"
+	"testing"
+
+	"trimgrad/internal/xrand"
+)
+
+// refWriter is the bit-at-a-time reference implementation WriteBits had
+// before the word-at-a-time rewrite. The production writer must emit the
+// exact same bytes for every (value, width) sequence.
+type refWriter struct {
+	buf  []byte
+	nBit int
+}
+
+func (w *refWriter) writeBit(b uint) {
+	if w.nBit%8 == 0 {
+		w.buf = append(w.buf, 0)
+	}
+	if b&1 != 0 {
+		w.buf[w.nBit/8] |= 1 << uint(7-w.nBit%8)
+	}
+	w.nBit++
+}
+
+func (w *refWriter) writeBits(v uint64, width int) {
+	for i := width - 1; i >= 0; i-- {
+		w.writeBit(uint(v >> uint(i)))
+	}
+}
+
+// TestWriteBitsMatchesBitAtATime drives random (value, width) sequences
+// through the word-at-a-time writer and the bit-at-a-time reference and
+// requires byte-identical output, then reads everything back through
+// ReadBits and requires the original values.
+func TestWriteBitsMatchesBitAtATime(t *testing.T) {
+	rng := xrand.New(42)
+	for trial := 0; trial < 200; trial++ {
+		var w BitWriter
+		var ref refWriter
+		type field struct {
+			v     uint64
+			width int
+		}
+		n := 1 + rng.Intn(64)
+		fields := make([]field, 0, n)
+		for i := 0; i < n; i++ {
+			width := rng.Intn(65) // 0..64
+			v := rng.Uint64()
+			fields = append(fields, field{v, width})
+			w.WriteBits(v, width)
+			ref.writeBits(v, width)
+			// Interleave single bits to exercise partial-byte boundaries.
+			if rng.Intn(4) == 0 {
+				b := uint(rng.Intn(2))
+				w.WriteBit(b)
+				ref.writeBit(b)
+				fields = append(fields, field{uint64(b), 1})
+			}
+		}
+		if !bytes.Equal(w.Bytes(), ref.buf) {
+			t.Fatalf("trial %d: word writer bytes differ\n got %x\nwant %x", trial, w.Bytes(), ref.buf)
+		}
+		if w.Len() != ref.nBit {
+			t.Fatalf("trial %d: Len %d != ref %d", trial, w.Len(), ref.nBit)
+		}
+		r := NewBitReader(w.Bytes(), w.Len())
+		for i, f := range fields {
+			want := f.v
+			if f.width < 64 {
+				want &= 1<<uint(f.width) - 1
+			}
+			got, ok := r.ReadBits(f.width)
+			if !ok {
+				t.Fatalf("trial %d: field %d: reader exhausted early", trial, i)
+			}
+			if got != want {
+				t.Fatalf("trial %d: field %d (width %d): got %x want %x", trial, i, f.width, got, want)
+			}
+		}
+		if r.Remaining() != 0 {
+			t.Fatalf("trial %d: %d bits left over", trial, r.Remaining())
+		}
+	}
+}
+
+// TestReadBitsMatchesBitAtATime cross-checks ReadBits against ReadBit on
+// random byte streams and random width schedules, including reads that
+// straddle the exposed-bit limit.
+func TestReadBitsMatchesBitAtATime(t *testing.T) {
+	rng := xrand.New(7)
+	for trial := 0; trial < 200; trial++ {
+		buf := make([]byte, 1+rng.Intn(40))
+		for i := range buf {
+			buf[i] = byte(rng.Uint64())
+		}
+		nBits := rng.Intn(len(buf)*8 + 1)
+		a := NewBitReader(buf, nBits)
+		b := NewBitReader(buf, nBits)
+		for {
+			width := rng.Intn(65)
+			got, okA := a.ReadBits(width)
+			var want uint64
+			okB := b.Remaining() >= width
+			if okB {
+				for i := 0; i < width; i++ {
+					bit, _ := b.ReadBit()
+					want = want<<1 | uint64(bit)
+				}
+			}
+			if okA != okB {
+				t.Fatalf("trial %d: ok mismatch at width %d: %v vs %v", trial, width, okA, okB)
+			}
+			if !okA {
+				// A failed wide read must not consume bits.
+				if a.Remaining() != b.Remaining() {
+					t.Fatalf("trial %d: failed read consumed bits: %d vs %d", trial, a.Remaining(), b.Remaining())
+				}
+				if a.Remaining() == 0 {
+					break
+				}
+				continue
+			}
+			if got != want {
+				t.Fatalf("trial %d: width %d: got %x want %x", trial, width, got, want)
+			}
+		}
+	}
+}
+
+// TestBitWriterOverStaleBuffer pins the arena-reuse contract: a writer laid
+// over a buffer full of stale bytes must produce the same output as one
+// over a fresh buffer, because every byte it touches is written, not OR-ed
+// into garbage.
+func TestBitWriterOverStaleBuffer(t *testing.T) {
+	dirty := make([]byte, 64)
+	for i := range dirty {
+		dirty[i] = 0xFF
+	}
+	clean := make([]byte, 64)
+	wd := BitWriterOver(dirty)
+	wc := BitWriterOver(clean)
+	rng := xrand.New(3)
+	for i := 0; i < 30; i++ {
+		width := 1 + rng.Intn(13)
+		v := rng.Uint64()
+		wd.WriteBits(v, width)
+		wc.WriteBits(v, width)
+	}
+	if !bytes.Equal(wd.Bytes(), wc.Bytes()) {
+		t.Fatalf("stale backing leaked into output:\n got %x\nwant %x", wd.Bytes(), wc.Bytes())
+	}
+}

@@ -1,0 +1,117 @@
+package wire
+
+import "sync"
+
+// Arena recycles packet payload buffers. Steady-state gradient traffic
+// builds and discards one byte slice per data packet; routing those
+// through an arena removes the per-packet allocation that ROADMAP flagged
+// as the wire layer's remaining hot-path cost.
+//
+// The free lists are plain mutex-guarded slices bucketed by power-of-two
+// capacity — deliberately not a sync.Pool, whose GC-driven eviction makes
+// buffer reuse (and therefore allocation counts and any latent
+// stale-data bug) timing-dependent. Here reuse order is LIFO and fully
+// deterministic, which is the property every netsim experiment leans on.
+//
+// Buffers come back dirty: Get does not zero. That is safe for every
+// builder in this package (marshal writes the whole header, the bit
+// writers zero-extend, meta fills its entire payload), and the
+// stale-buffer tests in vecmath and wire pin it.
+//
+// Ownership: exactly one owner may Put a buffer, once, and nothing may
+// alias it afterwards. The transport owns sender-side buffers until the
+// message completes (acked or failed); trimmed packets re-slice the same
+// backing array, so a buffer must never be recycled while a trimmed view
+// may still be in flight — see DESIGN.md §11 for the hand-off rules.
+type Arena struct {
+	mu      sync.Mutex
+	classes [arenaClasses][][]byte
+
+	// Gets/Hits count lookups and free-list hits (telemetry for tests and
+	// benchmarks; read them only when the arena is quiescent).
+	Gets, Hits uint64
+}
+
+// Size classes cover 32 B .. 64 KiB. Anything larger is handed to the
+// allocator directly: MTU-sized packets (the entire point) fit with room
+// to spare, and unbounded classes would just pin memory.
+const (
+	arenaMinShift = 5
+	arenaMaxShift = 16
+	arenaClasses  = arenaMaxShift - arenaMinShift + 1
+)
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+// classFor returns the smallest class whose capacity holds n, or -1 when
+// n is out of the pooled range.
+func classFor(n int) int {
+	if n > 1<<arenaMaxShift {
+		return -1
+	}
+	c := 0
+	for 1<<(arenaMinShift+c) < n {
+		c++
+	}
+	return c
+}
+
+// Get returns a buffer with len n and cap ≥ n. Contents are arbitrary —
+// callers must overwrite every byte they expose. A nil arena degrades to
+// make, so every *To builder works without pooling.
+func (a *Arena) Get(n int) []byte {
+	if a == nil {
+		return make([]byte, n)
+	}
+	c := classFor(n)
+	if c < 0 {
+		return make([]byte, n)
+	}
+	a.mu.Lock()
+	a.Gets++
+	list := a.classes[c]
+	if len(list) > 0 {
+		buf := list[len(list)-1]
+		list[len(list)-1] = nil
+		a.classes[c] = list[:len(list)-1]
+		a.Hits++
+		a.mu.Unlock()
+		return buf[:n]
+	}
+	a.mu.Unlock()
+	return make([]byte, n, 1<<(arenaMinShift+c))
+}
+
+// Put recycles buf. The caller must own buf exclusively: no live aliases,
+// including trimmed re-slices of the same backing array. Foreign buffers
+// (not from Get) are accepted and bucketed by capacity; buffers outside
+// the pooled range are dropped for the GC.
+func (a *Arena) Put(buf []byte) {
+	if a == nil || buf == nil {
+		return
+	}
+	c := classFor(cap(buf))
+	// classFor rounds up; only recycle into a class the buffer fully
+	// covers, so a later Get's len never exceeds the real capacity.
+	if c < 0 || cap(buf) < 1<<(arenaMinShift+c) {
+		c--
+	}
+	if c < 0 || cap(buf) < 1<<arenaMinShift {
+		return
+	}
+	a.mu.Lock()
+	a.classes[c] = append(a.classes[c], buf[:0])
+	a.mu.Unlock()
+}
+
+// PutAll recycles every buffer in bufs and the spine itself is left to
+// the caller (typically reused via bufs[:0]).
+func (a *Arena) PutAll(bufs [][]byte) {
+	if a == nil {
+		return
+	}
+	for _, b := range bufs {
+		a.Put(b)
+	}
+}

@@ -1,0 +1,98 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"trimgrad/internal/quant"
+	"trimgrad/internal/xrand"
+)
+
+func TestArenaGetPut(t *testing.T) {
+	a := NewArena()
+	b := a.Get(100)
+	if len(b) != 100 || cap(b) < 100 {
+		t.Fatalf("Get(100): len %d cap %d", len(b), cap(b))
+	}
+	a.Put(b)
+	c := a.Get(90)
+	if &c[0] != &b[0] {
+		t.Fatal("same-class Get after Put did not reuse the buffer")
+	}
+	if a.Gets != 2 || a.Hits != 1 {
+		t.Fatalf("Gets/Hits = %d/%d, want 2/1", a.Gets, a.Hits)
+	}
+	// Larger than any class: plain allocation, Put drops it.
+	huge := a.Get(1 << 20)
+	if len(huge) != 1<<20 {
+		t.Fatalf("huge Get len %d", len(huge))
+	}
+	a.Put(huge)
+	// A foreign buffer whose capacity is not a power of two must land in a
+	// class it fully covers.
+	odd := make([]byte, 48)
+	a.Put(odd)
+	got := a.Get(32)
+	if cap(got) != 48 {
+		t.Fatalf("expected the 48-cap foreign buffer from the 32 class, got cap %d", cap(got))
+	}
+	// Nil arena degrades to make.
+	var nilA *Arena
+	if b := nilA.Get(17); len(b) != 17 {
+		t.Fatalf("nil arena Get len %d", len(b))
+	}
+	nilA.Put(b)
+}
+
+// TestBuildToMatchesBuild pins the arena contract end to end: packets
+// built into dirty recycled buffers must be byte-identical to freshly
+// allocated ones, across data and meta builders and PackRow.
+func TestBuildToMatchesBuild(t *testing.T) {
+	rng := xrand.New(11)
+	a := NewArena()
+	// Poison the arena with dirty buffers of every class a packet uses.
+	for i := 0; i < 8; i++ {
+		d := make([]byte, 1<<uint(6+i%6))
+		for j := range d {
+			d[j] = 0xAB
+		}
+		a.Put(d)
+	}
+	enc := &quant.EncodedRow{
+		Scheme: quant.Linear,
+		P:      4, Q: 12, N: 1 << 10,
+		Seed:  rng.Uint64(),
+		Scale: 1.25,
+		Heads: make([]uint32, 1<<10),
+		Tails: make([]uint32, 1<<10),
+	}
+	for i := range enc.Heads {
+		enc.Heads[i] = uint32(rng.Uint64()) & (1<<4 - 1)
+		enc.Tails[i] = uint32(rng.Uint64()) & (1<<12 - 1)
+	}
+	for round := 0; round < 3; round++ { // later rounds reuse recycled buffers
+		wantMeta, wantData, err := PackRow(7, 9, 3, enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotMeta, gotData, err := PackRowTo(a, 7, 9, 3, enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wantMeta, gotMeta) {
+			t.Fatalf("round %d: meta differs", round)
+		}
+		if len(wantData) != len(gotData) {
+			t.Fatalf("round %d: %d vs %d data packets", round, len(wantData), len(gotData))
+		}
+		for i := range wantData {
+			if !bytes.Equal(wantData[i], gotData[i]) {
+				t.Fatalf("round %d: data packet %d differs", round, i)
+			}
+		}
+		PutPacked(a, gotMeta, gotData)
+	}
+	if a.Hits == 0 {
+		t.Fatal("arena never reused a buffer across rounds")
+	}
+}

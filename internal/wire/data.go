@@ -27,6 +27,14 @@ type DataPacket struct {
 // (low h.P / h.Q bits respectively) for i in [0, h.Count). The Trimmed flag
 // is cleared; both CRCs are computed. The result length is h.FullSize().
 func BuildDataPacket(h Header, heads, tails []uint32) ([]byte, error) {
+	return BuildDataPacketTo(nil, h, heads, tails)
+}
+
+// BuildDataPacketTo is BuildDataPacket drawing its buffer from a (nil a
+// means allocate). The returned slice is arena-owned: the caller must
+// Put it back exactly once after the last alias — including any trimmed
+// re-slice — is gone.
+func BuildDataPacketTo(a *Arena, h Header, heads, tails []uint32) ([]byte, error) {
 	if int(h.Count) != len(heads) || int(h.Count) != len(tails) {
 		return nil, fmt.Errorf("wire: count %d != heads %d / tails %d",
 			h.Count, len(heads), len(tails))
@@ -42,8 +50,10 @@ func BuildDataPacket(h Header, heads, tails []uint32) ([]byte, error) {
 
 	// Serialize both bit regions directly into buf's spare capacity:
 	// FullSize covers header + heads + tails, so neither writer can
-	// outgrow the backing array, and the packet costs one allocation.
-	buf := make([]byte, HeaderSize, h.FullSize())
+	// outgrow the backing array, and the packet costs at most one
+	// allocation (none on an arena hit). Recycled buffers arrive dirty;
+	// every byte below is written, never OR-ed into prior contents.
+	buf := a.Get(h.FullSize())[:HeaderSize]
 	h.marshal(buf)
 
 	hw := vecmath.BitWriterOver(buf[HeaderSize:])

@@ -13,18 +13,29 @@
 #   scripts/bench.sh                 run suite, write BENCH_<today>.json
 #   BENCH_DATE=2026-08-06 scripts/bench.sh   pin the date stamp
 #   BENCH_PATTERN='Hot' scripts/bench.sh     restrict which benchmarks run
+#   BENCH_TIME=20x scripts/bench.sh          more iterations (noisy hosts)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 date=${BENCH_DATE:-$(date +%Y-%m-%d)}
-pattern=${BENCH_PATTERN:-'Hot|Fig5|FWHT|E5WirePack'}
+pattern=${BENCH_PATTERN:-'Hot|Fig5|FWHT|E5WirePack|Fabric'}
+benchtime=${BENCH_TIME:-3x}
 out="BENCH_${date}.json"
 raw=$(mktemp /tmp/trimgrad-bench.XXXXXX.txt)
 trap 'rm -f "$raw"' EXIT
 
-echo "== go test -bench '$pattern' (benchmem, 3x)"
-go test -run '^$' -bench "$pattern" -benchmem -count=1 -benchtime 3x . | tee "$raw"
+echo "== go test -bench '$pattern' (benchmem, $benchtime)"
+go test -run '^$' -bench "$pattern" -benchmem -count=1 -benchtime "$benchtime" . | tee "$raw"
 
 echo "== benchjson -> $out"
 go run ./tools/benchjson -date "$date" -o "$out" < "$raw"
 echo "wrote $out"
+
+# Trajectory check: diff against the most recent previous BENCH file.
+# Informational only — single-run numbers are noisy, so a regression here
+# warns but never fails the script; re-run or investigate before trusting.
+prev=$(ls BENCH_*.json 2>/dev/null | grep -vF "$out" | sort | tail -n 1 || true)
+if [[ -n "$prev" ]]; then
+  echo "== benchjson -diff $prev $out (informational)"
+  go run ./tools/benchjson -diff "$prev" "$out" || true
+fi

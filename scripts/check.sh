@@ -7,7 +7,8 @@
 #                             runs the test suite with -short
 #   scripts/check.sh -chaos   fault-injection pass only: race-enabled chaos,
 #                             fault, and duplicate-delivery regression tests
-#   scripts/check.sh -bench   perf smoke only: the BenchmarkHot* suite runs
+#   scripts/check.sh -bench   perf smoke only: the BenchmarkHot* suite and
+#                             the BenchmarkFabric* fast-path suite run
 #                             clean under -race with live obs registries,
 #                             and the obs overhead guard still holds
 #
@@ -27,6 +28,8 @@ step() { echo "== $*"; }
 if [[ $mode == bench ]]; then
   step "go test -race -bench Hot (hot-path suite, live registries)"
   go test -race -run '^$' -bench 'Hot' -benchtime 1x .
+  step "go test -race -bench Fabric (wheel + pooled-event fast path)"
+  go test -race -run '^$' -bench 'Fabric' -benchtime 1x .
   step "obs overhead guard (encode hot path, Nop vs live registry)"
   go test -run 'TestObsOverheadGuard' -count=1 .
   echo "OK (bench smoke)"

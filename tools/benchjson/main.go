@@ -14,9 +14,17 @@
 // The date is a required flag rather than the wall clock so reruns over
 // a saved benchmark log are reproducible byte for byte.
 //
+// It also compares two recorded files — ROADMAP's benchmark-trajectory
+// diffing. `-diff old.json new.json` prints a per-benchmark table of
+// new/old ratios for ns/op and allocs/op and exits nonzero when any
+// benchmark present in both files regressed beyond `-threshold` (default
+// 1.25, i.e. 25% slower). Benchmarks that exist in only one file are
+// listed but never fail the run: new suites must not break the diff.
+//
 // Usage:
 //
 //	go test -bench 'Hot' . | benchjson -date 2026-08-06 -o BENCH_2026-08-06.json
+//	benchjson -diff BENCH_2026-08-06.json BENCH_2026-09-01.json
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"sort"
@@ -65,7 +74,16 @@ type Report struct {
 func main() {
 	date := flag.String("date", "", "ISO date stamped into the report (required)")
 	out := flag.String("o", "", "output path (default stdout)")
+	diff := flag.Bool("diff", false, "compare two BENCH files: benchjson -diff old.json new.json")
+	threshold := flag.Float64("threshold", 1.25, "ns/op regression ratio that fails -diff")
 	flag.Parse()
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runDiff(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold))
+	}
 	if *date == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -date is required")
 		os.Exit(2)
@@ -168,6 +186,81 @@ func splitProcs(name string) (string, int) {
 		return name, 1
 	}
 	return name[:i], n
+}
+
+// loadReport reads one BENCH_<date>.json document.
+func loadReport(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// runDiff compares two recorded reports benchmark by benchmark and
+// returns the process exit code: 0 when nothing regressed past
+// threshold, 1 otherwise. Ratios are new/old, so < 1 is an improvement.
+func runDiff(w io.Writer, oldPath, newPath string, threshold float64) int {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	oldBy := make(map[string]Benchmark, len(oldRep.Benchmarks))
+	for _, b := range oldRep.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	var names []string
+	newBy := make(map[string]Benchmark, len(newRep.Benchmarks))
+	for _, b := range newRep.Benchmarks {
+		newBy[b.Name] = b
+		names = append(names, b.Name)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "benchjson diff: %s (%s) -> %s (%s), threshold %.2fx\n",
+		oldPath, oldRep.Date, newPath, newRep.Date, threshold)
+	regressed := 0
+	for _, name := range names {
+		nb := newBy[name]
+		ob, ok := oldBy[name]
+		if !ok || ob.NsPerOp == 0 {
+			fmt.Fprintf(w, "  %-48s %12.0f ns/op  (new benchmark)\n", name, nb.NsPerOp)
+			continue
+		}
+		ratio := nb.NsPerOp / ob.NsPerOp
+		mark := ""
+		if ratio > threshold {
+			mark = "  REGRESSION"
+			regressed++
+		}
+		allocs := ""
+		if ob.AllocsPerOp != nb.AllocsPerOp {
+			allocs = fmt.Sprintf("  allocs %d -> %d", ob.AllocsPerOp, nb.AllocsPerOp)
+		}
+		fmt.Fprintf(w, "  %-48s %12.0f -> %12.0f ns/op  %.2fx%s%s\n",
+			name, ob.NsPerOp, nb.NsPerOp, ratio, allocs, mark)
+	}
+	for name := range oldBy {
+		if _, ok := newBy[name]; !ok {
+			fmt.Fprintf(w, "  %-48s (dropped: present only in %s)\n", name, oldPath)
+		}
+	}
+	if regressed > 0 {
+		fmt.Fprintf(w, "benchjson: %d benchmark(s) regressed beyond %.2fx\n", regressed, threshold)
+		return 1
+	}
+	fmt.Fprintln(w, "benchjson: no regressions beyond threshold")
+	return 0
 }
 
 // speedups pairs every `<base>/serial` with its `<base>/parallel`
