@@ -68,7 +68,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	rx := transport.New(receiver)
+	rx, err := transport.New(receiver)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netsim:", err)
+		os.Exit(1)
+	}
 	rx.Receiver = transport.ReceiverFunc(func(netsim.NodeID, []byte) {})
 
 	fct := netsim.NewFCTRecorder()
@@ -76,7 +80,11 @@ func main() {
 	completed := 0
 	var stacks []*transport.Stack
 	for i, h := range hosts {
-		s := transport.New(h)
+		s, err := transport.New(h)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "netsim:", err)
+			os.Exit(1)
+		}
 		stacks = append(stacks, s)
 		enc, err := core.NewEncoder(core.Config{
 			Params: quant.Params{Scheme: quant.RHT}, RowSize: 1 << 13, Flow: uint32(i),

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"trimgrad/internal/analysis"
+)
+
+// The lint cache keeps scripts/check.sh wall time flat now that trimlint
+// carries an interprocedural pass: a run over an unchanged tree replays
+// its stored diagnostics instead of re-type-checking the module. The key
+// is a content hash over every non-test Go source file in the module
+// (the same file set LoadModule can see), go.mod, the flag set, and a
+// version string bumped whenever the analysis engine changes shape.
+// Entries live under <module>/.trimlint-cache, which is gitignored.
+
+// cacheVersion invalidates all prior entries when the engine or the
+// diagnostic schema changes.
+const cacheVersion = "trimlint-cache-v1"
+
+const cacheDirName = ".trimlint-cache"
+
+// maxCacheEntries bounds the directory; oldest entries are evicted.
+const maxCacheEntries = 32
+
+type lintCache struct {
+	dir string
+	key string
+}
+
+// openCache hashes the module's lint inputs and returns a handle to the
+// entry for this exact tree + flag combination.
+func openCache(root string, patterns []string, enable, disable string) (*lintCache, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\n", cacheVersion)
+	sorted := append([]string(nil), patterns...)
+	sort.Strings(sorted)
+	fmt.Fprintf(h, "patterns=%s\nenable=%s\ndisable=%s\n", strings.Join(sorted, ","), enable, disable)
+
+	files, err := lintInputs(root)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range files {
+		fmt.Fprintf(h, "file=%s\n", f)
+		src, err := os.Open(f)
+		if err != nil {
+			return nil, err
+		}
+		_, err = io.Copy(h, src)
+		src.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &lintCache{
+		dir: filepath.Join(root, cacheDirName),
+		key: hex.EncodeToString(h.Sum(nil)),
+	}, nil
+}
+
+// lintInputs lists go.mod plus every non-test Go source file the loader
+// can see, sorted, so the hash is deterministic.
+func lintInputs(root string) ([]string, error) {
+	files := []string{filepath.Join(root, "go.mod")}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" || name == "scripts" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// lookup returns the stored diagnostics for this key, if any.
+func (c *lintCache) lookup() ([]analysis.Diagnostic, bool) {
+	data, err := os.ReadFile(filepath.Join(c.dir, c.key+".json"))
+	if err != nil {
+		return nil, false
+	}
+	var diags []analysis.Diagnostic
+	if err := json.Unmarshal(data, &diags); err != nil {
+		return nil, false // corrupt entry: fall through to a real run
+	}
+	return diags, true
+}
+
+// store writes the run's diagnostics under this key and evicts the oldest
+// entries beyond the size bound. Cache writes are best-effort: failures
+// never fail the lint.
+func (c *lintCache) store(diags []analysis.Diagnostic) {
+	if diags == nil {
+		diags = []analysis.Diagnostic{}
+	}
+	data, err := json.Marshal(diags)
+	if err != nil {
+		return
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return
+	}
+	tmp := filepath.Join(c.dir, c.key+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	if err := os.Rename(tmp, filepath.Join(c.dir, c.key+".json")); err != nil {
+		os.Remove(tmp)
+		return
+	}
+	c.evict()
+}
+
+// evict removes the oldest entries beyond maxCacheEntries.
+func (c *lintCache) evict() {
+	ents, err := os.ReadDir(c.dir)
+	if err != nil || len(ents) <= maxCacheEntries {
+		return
+	}
+	type aged struct {
+		name string
+		mod  int64
+	}
+	var entries []aged
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		entries = append(entries, aged{name: e.Name(), mod: info.ModTime().UnixNano()})
+	}
+	if len(entries) <= maxCacheEntries {
+		return
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].mod < entries[j].mod })
+	for _, e := range entries[:len(entries)-maxCacheEntries] {
+		os.Remove(filepath.Join(c.dir, e.name))
+	}
+}

@@ -11,16 +11,40 @@
 //
 // Flags:
 //
-//	-json            emit findings as a JSON array instead of text
+//	-json            emit findings as a SARIF 2.1.0 document instead of text
 //	-enable  a,b,c   run only the named checks
 //	-disable a,b,c   run all checks except the named ones
 //	-list            print the available checks and exit
+//	-nocache         ignore and do not update the lint cache
+//
+// Checks (see -list for one-line docs):
+//
+//	determinism        wall-clock/rand/map-order bans in deterministic packages
+//	swallowed-error    discarded error values
+//	float-equality     exact ==/!= on computed floats
+//	wire-endianness    single-endianness wire codec
+//	locked-value-copy  mutex-holding values passed by copy
+//	wallclock          wall-clock reads outside sanctioned packages
+//	poolownership      pooled packets/arena buffers/par scratch reach exactly
+//	                   one release on every path
+//	goroutinebound     go statements outside internal/par need a provable join
+//	obshotpath         obs registry lookups stay out of event-dispatch paths
+//
+// Results are cached under <module>/.trimlint-cache keyed by a content
+// hash of every non-test source file plus the flag set, so an unchanged
+// tree re-lints in milliseconds; -nocache bypasses it.
 //
 // Findings are suppressed line-by-line with
 //
 //	//trimlint:allow <check> <one-line justification>
 //
-// which covers the directive's own line and the line below it.
+// which covers the directive's own line and the line below it. The
+// poolownership checker additionally honors
+//
+//	//trimlint:owner transfer <one-line justification>
+//
+// marking a deliberate ownership hand-off (store into a long-lived
+// structure) as a transfer rather than an escape.
 package main
 
 import (
@@ -34,10 +58,11 @@ import (
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	jsonOut := flag.Bool("json", false, "emit findings as a SARIF document")
 	enable := flag.String("enable", "", "comma-separated checks to run (default: all)")
 	disable := flag.String("disable", "", "comma-separated checks to skip")
 	list := flag.Bool("list", false, "list available checks and exit")
+	noCache := flag.Bool("nocache", false, "ignore and do not update the lint cache")
 	flag.Parse()
 
 	if *list {
@@ -62,6 +87,20 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+
+	var cache *lintCache
+	if !*noCache {
+		if c, err := openCache(root, patterns, *enable, *disable); err == nil {
+			cache = c
+			if diags, ok := cache.lookup(); ok {
+				emit(root, diags, *jsonOut)
+				return
+			}
+		}
+		// A cache that cannot be opened or read is simply skipped: the
+		// lint result must never depend on cache health.
+	}
+
 	pkgs, err := analysis.LoadModule(root, patterns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -74,13 +113,19 @@ func main() {
 	}
 
 	diags := analysis.Run(pkgs, analyzers)
-	if *jsonOut {
+	if cache != nil {
+		cache.store(diags)
+	}
+	emit(root, diags, *jsonOut)
+}
+
+// emit prints the findings in the selected format and exits non-zero when
+// there are any.
+func emit(root string, diags []analysis.Diagnostic, jsonOut bool) {
+	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if diags == nil {
-			diags = []analysis.Diagnostic{}
-		}
-		if err := enc.Encode(diags); err != nil {
+		if err := enc.Encode(analysis.ToSarif(root, diags)); err != nil {
 			fmt.Fprintln(os.Stderr, "trimlint:", err)
 			os.Exit(2)
 		}
@@ -90,7 +135,7 @@ func main() {
 		}
 	}
 	if len(diags) > 0 {
-		if !*jsonOut {
+		if !jsonOut {
 			fmt.Fprintf(os.Stderr, "trimlint: %d finding(s)\n", len(diags))
 		}
 		os.Exit(1)

@@ -111,6 +111,13 @@ func TestFixtures(t *testing.T) {
 		{"locked-value-copy", "testdata/copylock/locks"},
 		{"wallclock", "testdata/wallclock/ddp"},
 		{"wallclock", "testdata/wallclock/metrics"},
+		{"poolownership", "testdata/poolownership/netsim"},
+		{"poolownership", "testdata/poolownership/wire"},
+		{"poolownership", "testdata/poolownership/clean"},
+		{"goroutinebound", "testdata/goroutinebound/spawn"},
+		{"goroutinebound", "testdata/goroutinebound/par"},
+		{"obshotpath", "testdata/obshotpath/hot"},
+		{"obshotpath", "testdata/obshotpath/cold"},
 	}
 	for _, c := range cases {
 		c := c

@@ -30,6 +30,7 @@ type Package struct {
 	Info  *types.Info
 
 	allow          map[string]map[int][]string
+	ownerXfer      map[string]map[int]bool
 	directiveDiags []Diagnostic
 }
 

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// SARIF rendering for `trimlint -json`: a minimal, stable subset of the
+// SARIF 2.1.0 schema (static-analysis results interchange format), so the
+// output plugs into standard viewers and CI annotators. One run, one tool
+// (trimlint), one rule per checker, one result per diagnostic.
+
+// SarifLog is the top-level document.
+type SarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []SarifRun `json:"runs"`
+}
+
+type SarifRun struct {
+	Tool    SarifTool     `json:"tool"`
+	Results []SarifResult `json:"results"`
+}
+
+type SarifTool struct {
+	Driver SarifDriver `json:"driver"`
+}
+
+type SarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []SarifRule `json:"rules"`
+}
+
+type SarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription SarifMessage `json:"shortDescription"`
+}
+
+type SarifMessage struct {
+	Text string `json:"text"`
+}
+
+type SarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   SarifMessage    `json:"message"`
+	Locations []SarifLocation `json:"locations"`
+}
+
+type SarifLocation struct {
+	PhysicalLocation SarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type SarifPhysicalLocation struct {
+	ArtifactLocation SarifArtifactLocation `json:"artifactLocation"`
+	Region           SarifRegion           `json:"region"`
+}
+
+type SarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type SarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+const sarifSchemaURI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+// ToSarif renders diagnostics as one SARIF run. File paths are rewritten
+// relative to root (when non-empty) with forward slashes, so the output
+// is machine-independent. The rule table lists every registered checker
+// plus the "directive" pseudo-check, in stable order.
+func ToSarif(root string, diags []Diagnostic) SarifLog {
+	rules := []SarifRule{{
+		ID:               "directive",
+		ShortDescription: SarifMessage{Text: "malformed trimlint directive comment"},
+	}}
+	for _, a := range Analyzers() {
+		rules = append(rules, SarifRule{
+			ID:               a.Name,
+			ShortDescription: SarifMessage{Text: a.Doc},
+		})
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+	index := make(map[string]int, len(rules))
+	for i, r := range rules {
+		index[r.ID] = i
+	}
+
+	results := make([]SarifResult, 0, len(diags))
+	for _, d := range diags {
+		uri := d.File
+		if root != "" {
+			if rel, err := filepath.Rel(root, d.File); err == nil && !strings.HasPrefix(rel, "..") {
+				uri = rel
+			}
+		}
+		results = append(results, SarifResult{
+			RuleID:    d.Check,
+			RuleIndex: index[d.Check],
+			Level:     "error",
+			Message:   SarifMessage{Text: d.Message},
+			Locations: []SarifLocation{{
+				PhysicalLocation: SarifPhysicalLocation{
+					ArtifactLocation: SarifArtifactLocation{URI: filepath.ToSlash(uri)},
+					Region:           SarifRegion{StartLine: d.Line, StartColumn: d.Col},
+				},
+			}},
+		})
+	}
+	return SarifLog{
+		Schema:  sarifSchemaURI,
+		Version: "2.1.0",
+		Runs:    []SarifRun{{Tool: SarifTool{Driver: SarifDriver{Name: "trimlint", Rules: rules}}, Results: results}},
+	}
+}

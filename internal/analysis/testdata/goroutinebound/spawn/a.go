@@ -1,0 +1,49 @@
+// Package spawn is a goroutinebound fixture: go statements here (outside
+// internal/par) need a provable join in the same function.
+package spawn
+
+import "sync"
+
+func process(int) {}
+
+func unbounded(work []int) {
+	for _, w := range work {
+		go process(w) // want "goroutine spawned with no join"
+	}
+}
+
+func fireAndForget() {
+	go func() {}() // want "goroutine spawned with no join"
+}
+
+func waitGroupJoined(work []int) {
+	var wg sync.WaitGroup
+	for _, w := range work {
+		wg.Add(1)
+		w := w
+		go func() {
+			defer wg.Done()
+			process(w)
+		}()
+	}
+	wg.Wait()
+}
+
+func channelJoined(n int) int {
+	ch := make(chan int)
+	go func() { ch <- n }()
+	return <-ch
+}
+
+func rangeJoined(n int) int {
+	ch := make(chan int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		go func() { ch <- i }()
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		total += <-ch
+	}
+	return total
+}

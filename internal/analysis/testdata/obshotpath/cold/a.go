@@ -1,0 +1,32 @@
+// Package cold is the clean obshotpath fixture: the dispatch switch is
+// present, but every handle is resolved once at construction and only
+// pre-resolved handles are touched per event.
+package cold
+
+type tickKind int
+
+type Counter struct{ n int }
+
+func (c *Counter) Inc() { c.n++ }
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *Counter { return &Counter{} }
+
+type loop struct {
+	ticks *Counter
+	skips *Counter
+}
+
+func newLoop(r *Registry) *loop {
+	return &loop{ticks: r.Counter("ticks"), skips: r.Counter("skips")}
+}
+
+func (l *loop) dispatch(k tickKind) {
+	switch k {
+	case 0:
+		l.ticks.Inc()
+	default:
+		l.skips.Inc()
+	}
+}

@@ -1,0 +1,64 @@
+// Package netsim (the clean poolownership fixture) shows the sanctioned
+// shapes: acquire/release, transfer by return, nil-guarded helpers, and
+// branch-balanced releases. The checker must pass it without findings.
+package netsim
+
+type Packet struct {
+	Size   int
+	pooled bool
+}
+
+type Sim struct {
+	free []*Packet
+}
+
+func (s *Sim) NewPacket() *Packet { return &Packet{pooled: true} }
+
+func (s *Sim) releasePacket(p *Packet) {
+	if p == nil || !p.pooled {
+		return
+	}
+	s.free = append(s.free, p)
+}
+
+func roundTrip(s *Sim) {
+	pkt := s.NewPacket()
+	pkt.Size = 64
+	s.releasePacket(pkt)
+}
+
+func produce(s *Sim) *Packet {
+	pkt := s.NewPacket()
+	pkt.Size = 1
+	return pkt
+}
+
+func branchBalanced(s *Sim, drop bool) {
+	pkt := s.NewPacket()
+	if drop {
+		s.releasePacket(pkt)
+		return
+	}
+	pkt.Size = 2
+	s.releasePacket(pkt)
+}
+
+func viaHelper(s *Sim) {
+	pkt := s.NewPacket()
+	sink(s, pkt)
+}
+
+// sink consumes on every path: the nil guard discharges one branch, the
+// release the other, so callers hand ownership over cleanly.
+func sink(s *Sim, pkt *Packet) {
+	if pkt == nil {
+		return
+	}
+	s.releasePacket(pkt)
+}
+
+func aliased(s *Sim) {
+	pkt := s.NewPacket()
+	same := pkt
+	s.releasePacket(same)
+}

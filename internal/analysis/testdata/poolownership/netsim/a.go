@@ -1,0 +1,120 @@
+// Package netsim is a poolownership fixture: the package name places its
+// local Sim/Packet declarations in the checker's spec tables, so pooled
+// packets acquired below must reach exactly one release on every path.
+package netsim
+
+// Packet mirrors the real pooled packet shape.
+type Packet struct {
+	Size   int
+	pooled bool
+}
+
+// Sim mirrors the real simulator's pool surface.
+type Sim struct {
+	free []*Packet
+}
+
+// NewPacket is the acquisition point the checker tracks.
+func (s *Sim) NewPacket() *Packet { return &Packet{pooled: true} }
+
+// releasePacket is the root sink; its body is the trusted boundary.
+func (s *Sim) releasePacket(p *Packet) {
+	if p == nil || !p.pooled {
+		return
+	}
+	s.free = append(s.free, p)
+}
+
+// leakOnDrop is the deliberately-broken packet-release path: the early
+// return drops the packet on the floor.
+func leakOnDrop(s *Sim, down bool) {
+	pkt := s.NewPacket() // want "released on some paths but not all"
+	if down {
+		return
+	}
+	s.releasePacket(pkt)
+}
+
+func leakAlways(s *Sim) {
+	pkt := s.NewPacket() // want "never released"
+	pkt.Size = 9
+}
+
+func discard(s *Sim) {
+	s.NewPacket() // want "never released"
+}
+
+func doubleRelease(s *Sim) {
+	pkt := s.NewPacket()
+	s.releasePacket(pkt)
+	s.releasePacket(pkt) // want "released again"
+}
+
+func useAfterRelease(s *Sim) int {
+	pkt := s.NewPacket()
+	s.releasePacket(pkt)
+	return pkt.Size // want "use of pooled packet .* after release"
+}
+
+type holder struct {
+	last *Packet
+}
+
+func stash(s *Sim, h *holder) {
+	pkt := s.NewPacket()
+	h.last = pkt // want "escapes: stored into a field"
+}
+
+func stashAnnotated(s *Sim, h *holder) {
+	pkt := s.NewPacket()
+	//trimlint:owner transfer fixture: the holder owns the packet from here on
+	h.last = pkt
+}
+
+func handOff(s *Sim) {
+	pkt := s.NewPacket()
+	go finish(s, pkt) // want "escapes: handed to a goroutine"
+	_ = pkt.Size
+}
+
+func capture(s *Sim) func() {
+	pkt := s.NewPacket()
+	return func() { // want "escapes: captured by a closure"
+		s.releasePacket(pkt)
+	}
+}
+
+// viaHelper discharges its obligation through a same-package helper: the
+// interprocedural summary of finish (consumes on every path) clears it.
+func viaHelper(s *Sim) {
+	pkt := s.NewPacket()
+	finish(s, pkt)
+}
+
+func finish(s *Sim, pkt *Packet) {
+	s.releasePacket(pkt)
+}
+
+// maybeFinish receives pooled values but only conditionally consumes
+// them, which is flagged on the helper itself; its caller still owns the
+// packet (borrow summary) and leaks it.
+func maybeFinish(s *Sim, pkt *Packet, ok bool) { // want "releases them on some paths but not all"
+	if ok {
+		s.releasePacket(pkt)
+	}
+}
+
+func callsMaybe(s *Sim) {
+	pkt := s.NewPacket() // want "never released"
+	maybeFinish(s, pkt, true)
+}
+
+// rebind mirrors the fault injector's corrupt path: the original is
+// released, the replacement continues.
+func rebind(s *Sim) *Packet {
+	pkt := s.NewPacket()
+	orig := pkt
+	pkt = s.NewPacket()
+	s.releasePacket(orig)
+	return pkt
+}

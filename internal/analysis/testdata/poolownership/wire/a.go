@@ -1,0 +1,90 @@
+// Package wire is a poolownership fixture for arena buffers: Get draws a
+// pooled buffer, Put/PutAll recycle it, and every acquisition below must
+// reach exactly one release on every path.
+package wire
+
+// Arena mirrors the real payload arena's surface.
+type Arena struct {
+	free [][]byte
+}
+
+// Get is the acquisition point the checker tracks.
+func (a *Arena) Get(n int) []byte { return make([]byte, n) }
+
+// Put is the root sink; its body is the trusted boundary.
+func (a *Arena) Put(b []byte) {
+	if b == nil {
+		return
+	}
+	a.free = append(a.free, b)
+}
+
+// PutAll recycles a batch.
+func (a *Arena) PutAll(bufs [][]byte) {
+	for _, b := range bufs {
+		a.Put(b)
+	}
+}
+
+// frame is long-lived storage; stashing an arena buffer in it without an
+// owner annotation is the escaped-arena-buffer case.
+type frame struct {
+	payload []byte
+}
+
+func escaped(a *Arena) *frame {
+	buf := a.Get(64)
+	return &frame{payload: buf} // want "escapes: stored in a composite literal"
+}
+
+func appended(a *Arena, frames [][]byte) [][]byte {
+	buf := a.Get(32)
+	return append(frames, buf) // want "escapes: appended to a slice"
+}
+
+func partialPut(a *Arena, n int) {
+	buf := a.Get(n) // want "released on some paths but not all"
+	if n > 4 {
+		a.Put(buf)
+	}
+}
+
+func doublePut(a *Arena) {
+	buf := a.Get(8)
+	defer a.Put(buf)
+	a.Put(buf) // want "released again"
+}
+
+func useAfterPut(a *Arena) int {
+	buf := a.Get(8)
+	a.Put(buf)
+	return len(buf) // want "use of arena buffer .* after release"
+}
+
+// deferPut is the canonical clean shape: acquire, defer the release,
+// work with the buffer until return.
+func deferPut(a *Arena) int {
+	buf := a.Get(32)
+	defer a.Put(buf)
+	return len(buf)
+}
+
+// build transfers the buffer to the caller; re-slicing keeps the same
+// underlying allocation, so the obligation follows the subslice out.
+func build(a *Arena) []byte {
+	buf := a.Get(16)
+	buf = buf[:8]
+	return buf
+}
+
+// batch hands a set of buffers to PutAll through a local slice that the
+// annotation marks as the owning container.
+func batch(a *Arena) {
+	set := make([][]byte, 0, 2)
+	for i := 0; i < 2; i++ {
+		buf := a.Get(4)
+		//trimlint:owner transfer fixture: the batch slice owns its buffers until PutAll
+		set = append(set, buf)
+	}
+	a.PutAll(set)
+}

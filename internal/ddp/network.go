@@ -105,7 +105,10 @@ func NewNetTrainer(train, test *ml.Dataset, opts ...Option) (*NetTrainer, error)
 	star := netsim.BuildStar(nt.sim, nHosts, fabric.Link, fabric.Queue,
 		netsim.WithRegistry(o.reg))
 	for i := 0; i < cfg.Workers; i++ {
-		stack := transport.New(star.Hosts[i])
+		stack, err := transport.New(star.Hosts[i])
+		if err != nil {
+			return nil, err
+		}
 		w, err := collective.New(i, stack, collective.WithConfig(core.Config{
 			Params:  *cfg.Scheme,
 			RowSize: cfg.RowSize,

@@ -73,8 +73,14 @@ func runChaos(w io.Writer, o Options) error {
 				star.Net.FlapLink(0, netsim.SwitchIDBase, 500*netsim.Microsecond, 2*netsim.Millisecond)
 			}
 			cfg := transport.Config{RTO: 200 * netsim.Microsecond, MaxRetries: 30}
-			a := transport.New(star.Hosts[0], transport.WithConfig(cfg))
-			b := transport.New(star.Hosts[1], transport.WithConfig(cfg))
+			a, err := transport.New(star.Hosts[0], transport.WithConfig(cfg))
+			if err != nil {
+				return err
+			}
+			b, err := transport.New(star.Hosts[1], transport.WithConfig(cfg))
+			if err != nil {
+				return err
+			}
 
 			ccfg := core.Config{Params: quant.Params{Scheme: quant.RHT}, RowSize: 1 << 10}
 			enc, err := core.NewEncoderWith(core.WithConfig(ccfg), core.WithRegistry(o.Obs))

@@ -58,6 +58,15 @@ func (c FaultConfig) enabled() bool {
 		c.GoodToBad > 0 || c.LossGood > 0
 }
 
+// aliasing reports whether the config can make two in-flight packets (or
+// one in-flight and one already-delivered packet) share payload memory:
+// duplication clones headers but shares the payload slice, and reordering
+// holds a payload across re-admission. Either combines unsafely with
+// arena payload recycling — see Sim.MarkPayloadRecycling.
+func (c FaultConfig) aliasing() bool {
+	return c.DuplicateRate > 0 || c.ReorderRate > 0
+}
+
 // FaultStats counts what a FaultInjector actually did.
 //
 // Deprecated: read the "netsim.fault.<from>-><to>.*" counters from the
@@ -181,10 +190,24 @@ func (f *FaultInjector) corrupt(pkt *Packet) *Packet {
 
 // SetFaults attaches a fault process to this port, deriving its stream
 // from cfg.Seed and streamID. A zero-value cfg detaches.
+//
+// Attaching a config that can alias payloads (duplication, reordering)
+// while a transport recycles payload buffers through a wire.Arena panics:
+// the combination silently corrupts replays, and topology/chaos mistakes
+// fail loudly here (like portBetween) rather than downstream.
 func (p *Port) SetFaults(cfg FaultConfig, streamID ...uint64) *FaultInjector {
+	if p.faults != nil && p.faults.cfg.aliasing() {
+		p.sim.aliasFaults--
+	}
 	if !cfg.enabled() {
 		p.faults = nil
 		return nil
+	}
+	if cfg.aliasing() {
+		if p.sim.payloadRecyclers > 0 {
+			panic(fmt.Sprintf("netsim: fault config with DuplicateRate/ReorderRate on port %d->%d while a transport recycles payloads through an arena; drop WithArena or the aliasing faults (see ROADMAP: generation-stamped buffers)", p.owner, p.peer.ID()))
+		}
+		p.sim.aliasFaults++
 	}
 	p.faults = newFaultInjector(p.sim, cfg, streamID...)
 	p.faults.obs = newFaultObs(p.sim.obs, p.owner, p.peer.ID())

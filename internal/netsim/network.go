@@ -290,6 +290,7 @@ func (p *Port) admit(pkt *Packet) {
 }
 
 func (p *Port) push(pkt *Packet) {
+	//trimlint:owner transfer the port queue owns queued packets; transmitNext hands them onward and drop sites release them
 	p.q[pkt.Prio] = append(p.q[pkt.Prio], pkt)
 	p.bytes[pkt.Prio] += pkt.Size
 	p.Stats.Enqueued++

@@ -184,6 +184,16 @@ type Sim struct {
 	freeEv  *event
 	freePkt []*Packet
 
+	// aliasFaults counts attached fault injectors whose config can alias
+	// packet payloads (duplication clones share-on-write, reordering holds
+	// a payload across re-admission). payloadRecyclers counts transports
+	// recycling payload buffers through a wire.Arena. The two are mutually
+	// exclusive until generation-stamped buffers land (ROADMAP): a recycled
+	// buffer re-used while a duplicate or delayed packet still references
+	// it would silently corrupt the replay.
+	aliasFaults      int
+	payloadRecyclers int
+
 	// Processed counts executed events (useful in tests and as a runaway
 	// guard).
 	Processed uint64
@@ -191,6 +201,24 @@ type Sim struct {
 
 // NewSim returns an empty simulator at time zero.
 func NewSim() *Sim { return &Sim{} }
+
+// MarkPayloadRecycling registers a transport that recycles payload
+// buffers through a wire.Arena. It fails if any attached fault injector
+// can alias payloads (duplication or reordering): a recycled buffer
+// re-used while a duplicate or delayed packet still references it would
+// corrupt the replay silently. The restriction lifts once
+// generation-stamped arena buffers land (ROADMAP).
+func (s *Sim) MarkPayloadRecycling() error {
+	if s.aliasFaults > 0 {
+		return fmt.Errorf("netsim: arena payload recycling is unsafe with %d fault injector(s) enabling DuplicateRate/ReorderRate; drop WithArena or the aliasing faults", s.aliasFaults)
+	}
+	s.payloadRecyclers++
+	return nil
+}
+
+// HasAliasingFaults reports whether any attached fault injector can alias
+// payloads (duplication or reordering enabled).
+func (s *Sim) HasAliasingFaults() bool { return s.aliasFaults > 0 }
 
 // setObs binds a telemetry registry to this simulator. The registry's
 // clock becomes the virtual clock, so every span and timestamp recorded
@@ -342,6 +370,7 @@ func (s *Sim) afterAdmit(d Time, p *Port, pkt *Packet) {
 	ev := s.allocEvent()
 	ev.kind = evAdmit
 	ev.port = p
+	//trimlint:owner transfer the pooled event owns the packet until dispatch re-admits it at the port
 	ev.pkt = pkt
 	s.schedule(s.now+d, ev)
 }

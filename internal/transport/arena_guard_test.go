@@ -1,0 +1,80 @@
+package transport
+
+import (
+	"strings"
+	"testing"
+
+	"trimgrad/internal/netsim"
+	"trimgrad/internal/wire"
+)
+
+func guardStar(t *testing.T) (*netsim.Sim, *netsim.Star) {
+	t.Helper()
+	sim := netsim.NewSim()
+	star := netsim.BuildStar(sim, 2, fastLink(),
+		netsim.QueueConfig{CapacityBytes: 1 << 20})
+	return sim, star
+}
+
+// TestArenaRejectedAfterAliasingFaults pins the runtime guard for the
+// documented-unsafe combination: attaching WithArena to a sim whose fault
+// injectors can alias payloads (reordering or duplication) must fail with
+// a configuration error, not silently risk recycled-buffer corruption.
+func TestArenaRejectedAfterAliasingFaults(t *testing.T) {
+	for _, cfg := range []netsim.FaultConfig{
+		{Seed: 1, ReorderRate: 0.2},
+		{Seed: 1, DuplicateRate: 0.2},
+	} {
+		sim, star := guardStar(t)
+		star.Net.InjectFaults(0, netsim.SwitchIDBase, cfg)
+		_, err := New(star.Hosts[0], WithArena(wire.NewArena()))
+		if err == nil {
+			t.Fatalf("New(WithArena) after faults %+v succeeded, want configuration error", cfg)
+		}
+		if !strings.Contains(err.Error(), "WithArena rejected") {
+			t.Errorf("error %q does not name the rejected option", err)
+		}
+		if !sim.HasAliasingFaults() {
+			t.Errorf("HasAliasingFaults() = false with faults %+v attached", cfg)
+		}
+	}
+}
+
+// TestAliasingFaultsPanicAfterArena pins the reverse order: once a
+// transport recycles payloads through an arena, attaching an aliasing
+// fault config panics loudly (the SetFaults counterpart of the guard).
+func TestAliasingFaultsPanicAfterArena(t *testing.T) {
+	_, star := guardStar(t)
+	if _, err := New(star.Hosts[0], WithArena(wire.NewArena())); err != nil {
+		t.Fatalf("New(WithArena) on a fault-free sim: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("InjectFaults with ReorderRate after WithArena did not panic")
+		}
+	}()
+	star.Net.InjectFaults(0, netsim.SwitchIDBase, netsim.FaultConfig{Seed: 1, ReorderRate: 0.2})
+}
+
+// TestArenaAllowedWithNonAliasingFaults checks the guard does not
+// over-trigger: loss and corruption never alias payload memory, so the
+// arena composes with them freely, and detaching an aliasing config
+// re-permits the arena.
+func TestArenaAllowedWithNonAliasingFaults(t *testing.T) {
+	_, star := guardStar(t)
+	star.Net.InjectFaults(0, netsim.SwitchIDBase,
+		netsim.FaultConfig{Seed: 1, LossGood: 0.01, GoodToBad: 0.01, BadToGood: 0.5, LossBad: 0.3, CorruptRate: 0.01})
+	if _, err := New(star.Hosts[0], WithArena(wire.NewArena())); err != nil {
+		t.Fatalf("New(WithArena) with loss-only faults: %v", err)
+	}
+
+	sim, star2 := guardStar(t)
+	star2.Net.InjectFaults(0, netsim.SwitchIDBase, netsim.FaultConfig{Seed: 1, ReorderRate: 0.2})
+	star2.Net.InjectFaults(0, netsim.SwitchIDBase, netsim.FaultConfig{}) // detach both directions
+	if sim.HasAliasingFaults() {
+		t.Fatalf("HasAliasingFaults() = true after detaching every injector")
+	}
+	if _, err := New(star2.Hosts[0], WithArena(wire.NewArena())); err != nil {
+		t.Fatalf("New(WithArena) after detaching aliasing faults: %v", err)
+	}
+}

@@ -212,11 +212,20 @@ func WithReceiver(rcv Receiver) Opt { return func(o *stackOpts) { o.rcv = rcv } 
 // trims but not under reorder/duplicate fault injection.
 func WithArena(a *wire.Arena) Opt { return func(o *stackOpts) { o.arena = a } }
 
-// New attaches a transport stack to h, configured by options.
-func New(h *netsim.Host, opts ...Opt) *Stack {
+// New attaches a transport stack to h, configured by options. It fails
+// when WithArena is combined with fault injection that can alias payload
+// buffers (duplication or reordering) — the documented-unsafe combination
+// DESIGN.md §11 describes — instead of silently risking recycled-buffer
+// corruption.
+func New(h *netsim.Host, opts ...Opt) (*Stack, error) {
 	o := stackOpts{reg: h.Sim().Obs()}
 	for _, opt := range opts {
 		opt(&o)
+	}
+	if o.arena != nil {
+		if err := h.Sim().MarkPayloadRecycling(); err != nil {
+			return nil, fmt.Errorf("transport: WithArena rejected: %w", err)
+		}
 	}
 	s := &Stack{
 		host:     h,
@@ -231,7 +240,7 @@ func New(h *netsim.Host, opts ...Opt) *Stack {
 		trimRx:   make(map[msgKey]*trimReceiver),
 	}
 	h.Handler = s.handle
-	return s
+	return s, nil
 }
 
 // NewStack attaches a transport stack to h.
@@ -239,7 +248,13 @@ func New(h *netsim.Host, opts ...Opt) *Stack {
 // Deprecated: use New with WithConfig; NewStack remains as a thin wrapper
 // for existing callers.
 func NewStack(h *netsim.Host, cfg Config) *Stack {
-	return New(h, WithConfig(cfg))
+	s, err := New(h, WithConfig(cfg))
+	if err != nil {
+		// Unreachable: New only fails for WithArena, which NewStack never
+		// passes. Panicking keeps the legacy signature honest.
+		panic(err)
+	}
+	return s
 }
 
 // Host returns the underlying simulated host.

@@ -11,6 +11,9 @@
 #                             the BenchmarkFabric* fast-path suite run
 #                             clean under -race with live obs registries,
 #                             and the obs overhead guard still holds
+#   scripts/check.sh -lint    static pass only: gofmt + go vet + trimlint
+#                             (trimlint replays from .trimlint-cache when
+#                             the tree is unchanged)
 #
 # Every step must pass; the script stops at the first failure.
 set -euo pipefail
@@ -21,6 +24,7 @@ case "${1:-}" in
   -short) mode=short ;;
   -chaos) mode=chaos ;;
   -bench) mode=bench ;;
+  -lint)  mode=lint ;;
 esac
 
 step() { echo "== $*"; }
@@ -57,6 +61,11 @@ go vet ./...
 
 step "trimlint ./..."
 go run ./cmd/trimlint ./...
+
+if [[ $mode == lint ]]; then
+  echo "OK (lint mode: gofmt + vet + trimlint)"
+  exit 0
+fi
 
 step "go build ./..."
 go build ./...
