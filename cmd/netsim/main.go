@@ -5,6 +5,7 @@
 // Examples:
 //
 //	netsim -topology star -senders 8 -mode trim
+//	netsim -topology star -senders 8 -mode trim -agg
 //	netsim -topology dumbbell -senders 4 -mode drop -cross 5e5
 package main
 
@@ -25,6 +26,7 @@ func main() {
 		topology = flag.String("topology", "star", "star|dumbbell")
 		senders  = flag.Int("senders", 8, "number of gradient senders")
 		mode     = flag.String("mode", "trim", "switch behaviour: trim|drop")
+		agg      = flag.Bool("agg", false, "aggregate trimmable packets in the switch (senders share one message ID); needs -mode trim")
 		dim      = flag.Int("dim", 1<<16, "gradient coordinates per sender")
 		buffer   = flag.Int("buffer", 64<<10, "switch buffer bytes per port")
 		gbps     = flag.Float64("gbps", 10, "link bandwidth in Gbit/s")
@@ -41,6 +43,13 @@ func main() {
 	}
 	if *mode == "trim" {
 		qcfg.Mode = netsim.TrimOverflow
+	}
+	if *agg {
+		if *mode != "trim" {
+			fmt.Fprintln(os.Stderr, "netsim: -agg requires -mode trim")
+			os.Exit(2)
+		}
+		qcfg.AggregateTrimmable = true
 	}
 	link := netsim.LinkConfig{Bandwidth: netsim.Gbps(*gbps), Delay: 5 * netsim.Microsecond}
 
@@ -97,7 +106,15 @@ func main() {
 		for j := range grad {
 			grad[j] = float32(j%17) * 0.01
 		}
-		msg, err := enc.Encode(*seed, uint32(i+1), grad)
+		// Under -agg every sender shares one message ID: matching
+		// aggregation keys are what lets the switch fold the incast's
+		// packets (flows stay distinct, so reassembly still works per
+		// sender).
+		msgID := uint32(i + 1)
+		if *agg {
+			msgID = 1
+		}
+		msg, err := enc.Encode(*seed, msgID, grad)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "netsim:", err)
 			os.Exit(1)
@@ -106,10 +123,10 @@ func main() {
 		fct.FlowStarted(id, 0)
 		onDone := func(at netsim.Time) { completed++; fct.FlowFinished(id, at) }
 		if qcfg.Mode == netsim.TrimOverflow {
-			s.SendTrimmable(receiver.ID(), uint32(i+1), msg.Meta, msg.Data, onDone, nil)
+			s.SendTrimmable(receiver.ID(), msgID, msg.Meta, msg.Data, onDone, nil)
 		} else {
 			payloads := append(append([][]byte{}, msg.Meta...), msg.Data...)
-			s.SendReliable(receiver.ID(), uint32(i+1), payloads, onDone, nil)
+			s.SendReliable(receiver.ID(), msgID, payloads, onDone, nil)
 		}
 		if *cross > 0 {
 			ct := netsim.NewCrossTraffic(h, receiver.ID(), 1500, *cross, *seed+uint64(i))
@@ -124,8 +141,8 @@ func main() {
 	}
 	trimmedRx = rx.Stats.TrimmedReceived
 
-	fmt.Printf("topology=%s mode=%s senders=%d dim=%d buffer=%dB\n",
-		*topology, *mode, *senders, *dim, *buffer)
+	fmt.Printf("topology=%s mode=%s agg=%v senders=%d dim=%d buffer=%dB\n",
+		*topology, *mode, *agg, *senders, *dim, *buffer)
 	fmt.Printf("completed           %d/%d\n", completed, *senders)
 	fmt.Printf("FCT p50 / p99 / max %v / %v / %v\n",
 		fct.Percentile(0.5), fct.Percentile(0.99), fct.Max())
@@ -133,8 +150,9 @@ func main() {
 	fmt.Printf("trimmed received    %d\n", trimmedRx)
 	if bottleneck != nil {
 		st := bottleneck.Stats
-		fmt.Printf("bottleneck port     enq=%d tx=%d trim=%d drop=%d maxQ=%dB\n",
-			st.Enqueued, st.Transmitted, st.Trimmed, st.Dropped, st.MaxQueueBytes)
+		fmt.Printf("bottleneck port     enq=%d tx=%d trim=%d drop=%d agg=%d maxQ=%dB\n",
+			st.Enqueued, st.Transmitted, st.Trimmed, st.Dropped, st.Aggregated,
+			st.MaxQueueBytes)
 	}
 
 	if *metrics != "" {

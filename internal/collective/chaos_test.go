@@ -50,16 +50,19 @@ type rankOutcome struct {
 	agg    core.Stats
 }
 
-// runChaosAllReduce executes one 3-worker direct all-reduce under sc.
-func runChaosAllReduce(t *testing.T, mode Mode, sc collChaosScenario, seed uint64) []rankOutcome {
+// runChaosAllReduce executes one 3-worker all-reduce of the given
+// algorithm under sc.
+func runChaosAllReduce(t *testing.T, alg Algorithm, mode Mode, sc collChaosScenario, seed uint64) []rankOutcome {
 	t.Helper()
 	const n = 3
 	sim := netsim.NewSim()
 	star := netsim.BuildStar(sim, n, fast(),
 		netsim.QueueConfig{CapacityBytes: 8 << 20, Mode: netsim.TrimOverflow})
 	// Small RTO and retry budget so a dead peer fails the round fast; the
-	// deadline is the backstop for ranks that merely wait in silence.
-	cfg := transport.Config{RTO: 100 * netsim.Microsecond, MaxRetries: 8}
+	// deadline is the backstop for ranks that merely wait in silence. The
+	// budget is sized for the parameter-server schedule, which funnels every
+	// flow across worker 0's faulty link (16 backoffs ≈ 21ms « deadline).
+	cfg := transport.Config{RTO: 100 * netsim.Microsecond, MaxRetries: 16}
 	ws := make([]*Worker, n)
 	for i := 0; i < n; i++ {
 		w, err := NewWorker(i, transport.NewStack(star.Hosts[i], cfg), coreCfg(quant.RHT), mode)
@@ -88,7 +91,7 @@ func runChaosAllReduce(t *testing.T, mode Mode, sc collChaosScenario, seed uint6
 	}
 	want := exactMean(grads)
 	out := make([]rankOutcome, n)
-	err := AllReduceDirect(1, 100, ws, grads,
+	err := AllReduce(alg, 1, 100, ws, grads,
 		func(rank int, avg []float32, at netsim.Time) {
 			if out[rank].done || out[rank].errStr != "" {
 				t.Errorf("%s: rank %d completed after a prior outcome", sc.name, rank)
@@ -104,7 +107,7 @@ func runChaosAllReduce(t *testing.T, mode Mode, sc collChaosScenario, seed uint6
 			out[rank].errStr = err.Error()
 		})
 	if err != nil {
-		t.Fatalf("%s: AllReduceDirect: %v", sc.name, err)
+		t.Fatalf("%s: AllReduce(%v): %v", sc.name, alg, err)
 	}
 	sim.RunUntil(netsim.Second)
 
@@ -120,35 +123,37 @@ func runChaosAllReduce(t *testing.T, mode Mode, sc collChaosScenario, seed uint6
 	return out
 }
 
-// TestChaosAllReduceMatrix is the graceful-degradation contract: under
-// every fault scenario, each rank of a 3-worker all-reduce either delivers
-// the exact average or reports an explicit error before its deadline, and
-// the whole outcome is reproducible from the seed.
+// TestChaosAllReduceMatrix is the graceful-degradation contract, over
+// every all-reduce algorithm: under every fault scenario, each rank of a
+// 3-worker all-reduce either delivers the exact average or reports an
+// explicit error before its deadline — never a hang — and the whole
+// outcome is reproducible bit for bit from the seed.
 func TestChaosAllReduceMatrix(t *testing.T) {
-	for _, mode := range []Mode{Reliable, Trimmable} {
-		name := "reliable"
-		if mode == Trimmable {
-			name = "trimmable"
-		}
-		for _, sc := range collChaosScenarios() {
-			sc := sc
-			mode := mode
-			t.Run(name+"/"+sc.name, func(t *testing.T) {
-				first := runChaosAllReduce(t, mode, sc, 42)
-				again := runChaosAllReduce(t, mode, sc, 42)
-				for rank := range first {
-					if first[rank] != again[rank] {
-						t.Errorf("rank %d diverged across same-seed runs:\n first %+v\n again %+v",
-							rank, first[rank], again[rank])
+	for _, alg := range Algorithms() {
+		for _, mode := range []Mode{Reliable, Trimmable} {
+			name := alg.String() + "/reliable"
+			if mode == Trimmable {
+				name = alg.String() + "/trimmable"
+			}
+			for _, sc := range collChaosScenarios() {
+				alg, mode, sc := alg, mode, sc
+				t.Run(name+"/"+sc.name, func(t *testing.T) {
+					first := runChaosAllReduce(t, alg, mode, sc, 42)
+					again := runChaosAllReduce(t, alg, mode, sc, 42)
+					for rank := range first {
+						if first[rank] != again[rank] {
+							t.Errorf("rank %d diverged across same-seed runs:\n first %+v\n again %+v",
+								rank, first[rank], again[rank])
+						}
+						if sc.wantError && first[rank].errStr == "" {
+							t.Errorf("rank %d completed despite a dead peer", rank)
+						}
+						if !sc.wantError && !first[rank].done {
+							t.Errorf("rank %d failed a survivable scenario: %s", rank, first[rank].errStr)
+						}
 					}
-					if sc.wantError && first[rank].errStr == "" {
-						t.Errorf("rank %d completed despite a dead peer", rank)
-					}
-					if !sc.wantError && !first[rank].done {
-						t.Errorf("rank %d failed a survivable scenario: %s", rank, first[rank].errStr)
-					}
-				}
-			})
+				})
+			}
 		}
 	}
 }

@@ -58,6 +58,12 @@ type Worker struct {
 	cfg  core.Config
 	enc  *core.Encoder
 	decs map[decKey]*core.Decoder
+	// sums holds per-message summing decoders (parameter-server reduce).
+	// They are keyed by message alone: a SumDecoder accepts packets from
+	// every flow — including switch-built aggregates, whose arriving Src is
+	// whichever sender's packet was queued first — so routing must not
+	// depend on the source host.
+	sums map[uint32]*core.SumDecoder
 	obs  *obs.Registry
 
 	// onComplete is the op-installed completion hook.
@@ -124,6 +130,7 @@ func New(rank int, stack *transport.Stack, opts ...Option) (*Worker, error) {
 		cfg:      cfg,
 		enc:      enc,
 		decs:     make(map[decKey]*core.Decoder),
+		sums:     make(map[uint32]*core.SumDecoder),
 		obs:      o.reg,
 	}
 	stack.Receiver = transport.ReceiverFunc(w.handlePayload)
@@ -162,6 +169,17 @@ func (w *Worker) handlePayload(src netsim.NodeID, payload []byte) {
 		w.AggStats.RejectedPackets++
 		return
 	}
+	if sd := w.sums[h.Message]; sd != nil {
+		//trimlint:allow swallowed-error rejections are counted in the sum decoder's Stats; like the per-sender path, they simply don't contribute
+		_ = sd.Handle(payload)
+		return
+	}
+	if h.IsAgg() {
+		// A switch-built aggregate is only decodable by a summing decoder;
+		// without one registered for its message it is unusable.
+		w.AggStats.RejectedPackets++
+		return
+	}
 	key := decKey{src, h.Message}
 	dec := w.decs[key]
 	if dec == nil {
@@ -197,6 +215,35 @@ func (w *Worker) reconstruct(src netsim.NodeID, msg uint32, n int) ([]float32, e
 	}
 	w.AggStats.Accumulate(stats)
 	delete(w.decs, key)
+	return out, nil
+}
+
+// registerSum installs a summing decoder for message msg fed by nFlows
+// senders; incoming packets for msg (from any flow, aggregated or not)
+// route to it instead of per-sender decoders.
+func (w *Worker) registerSum(msg uint32, nFlows int) error {
+	sd, err := core.NewSumDecoder(msg, nFlows, core.WithConfig(w.cfg), core.WithRegistry(w.obs))
+	if err != nil {
+		return err
+	}
+	w.sums[msg] = sd
+	return nil
+}
+
+// reconstructSum finishes a registered summing decoder: it returns the
+// coordinate-wise SUM of the contributing gradients (the caller divides)
+// and drops the decoder's state.
+func (w *Worker) reconstructSum(msg uint32, n int) ([]float32, error) {
+	sd := w.sums[msg]
+	if sd == nil {
+		return nil, fmt.Errorf("collective: no sum decoder for message %d", msg)
+	}
+	out, stats, err := sd.Reconstruct(n)
+	if err != nil {
+		return nil, err
+	}
+	w.AggStats.Accumulate(stats)
+	delete(w.sums, msg)
 	return out, nil
 }
 

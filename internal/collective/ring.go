@@ -40,10 +40,7 @@ func AllReduceRing(epoch uint64, baseMsg uint32, workers []*Worker,
 		return fmt.Errorf("collective: gradient length %d < %d workers", dim, n)
 	}
 	// Contiguous chunk boundaries: chunk c spans [off[c], off[c+1]).
-	off := make([]int, n+1)
-	for c := 0; c <= n; c++ {
-		off[c] = c * dim / n
-	}
+	off := chunkOffsets(dim, n)
 	opStart := workers[0].Stack.Host().Sim().Now()
 	for i := range workers {
 		rs := &ringState{
@@ -107,8 +104,6 @@ func (rs *ringState) totalSteps() int { return 2*rs.n - 2 }
 func (rs *ringState) msgID(step, sender int) uint32 {
 	return rs.baseMsg + uint32(step)*uint32(rs.n) + uint32(sender)
 }
-
-func mod(a, n int) int { return ((a % n) + n) % n }
 
 // sendChunk returns which chunk rank i transmits at global step s.
 func (rs *ringState) sendChunk(s, i int) int {

@@ -1,0 +1,19 @@
+package collective
+
+// mod is the mathematical modulus: the result is always in [0, n) even for
+// negative a, unlike Go's % operator. Every algorithm's neighbour/step
+// arithmetic (ring left-neighbour, recursive-doubling partner, hierarchical
+// group walk) uses it instead of re-deriving the (a%n+n)%n dance locally.
+func mod(a, n int) int { return ((a % n) + n) % n }
+
+// chunkOffsets returns the n+1 contiguous chunk boundaries that split a
+// dim-length vector as evenly as possible: chunk c spans
+// [off[c], off[c+1]). The boundary formula c·dim/n matches what ring
+// all-reduce has always used, so chunk layouts stay bit-compatible.
+func chunkOffsets(dim, n int) []int {
+	off := make([]int, n+1)
+	for c := 0; c <= n; c++ {
+		off[c] = c * dim / n
+	}
+	return off
+}

@@ -1,0 +1,58 @@
+package collective
+
+import "testing"
+
+func TestModNegativeRanks(t *testing.T) {
+	cases := []struct{ a, n, want int }{
+		{0, 3, 0},
+		{1, 3, 1},
+		{3, 3, 0},
+		{4, 3, 1},
+		{-1, 3, 2},
+		{-2, 3, 1},
+		{-3, 3, 0},
+		{-4, 3, 2},
+		{-1, 8, 7},
+		{-9, 8, 7},
+		{-16, 8, 0},
+		{7, 1, 0},
+		{-7, 1, 0},
+	}
+	for _, c := range cases {
+		if got := mod(c.a, c.n); got != c.want {
+			t.Errorf("mod(%d, %d) = %d, want %d", c.a, c.n, got, c.want)
+		}
+	}
+}
+
+func TestChunkOffsets(t *testing.T) {
+	for _, c := range []struct {
+		dim, n int
+		want   []int
+	}{
+		{10, 2, []int{0, 5, 10}},
+		{10, 3, []int{0, 3, 6, 10}},
+		{7, 7, []int{0, 1, 2, 3, 4, 5, 6, 7}},
+		{5, 1, []int{0, 5}},
+	} {
+		got := chunkOffsets(c.dim, c.n)
+		if len(got) != len(c.want) {
+			t.Fatalf("chunkOffsets(%d,%d) = %v, want %v", c.dim, c.n, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("chunkOffsets(%d,%d)[%d] = %d, want %d", c.dim, c.n, i, got[i], c.want[i])
+			}
+		}
+	}
+	// Chunks must cover the vector exactly, in order, for awkward sizes.
+	off := chunkOffsets(1000, 7)
+	if off[0] != 0 || off[7] != 1000 {
+		t.Fatalf("chunkOffsets(1000,7) endpoints: %v", off)
+	}
+	for c := 0; c < 7; c++ {
+		if off[c+1] < off[c] {
+			t.Errorf("chunkOffsets(1000,7) not monotone at %d: %v", c, off)
+		}
+	}
+}

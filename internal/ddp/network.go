@@ -41,10 +41,14 @@ type FabricConfig struct {
 	// Link is every host↔switch link.
 	Link netsim.LinkConfig
 	// Queue configures the switch (shallow buffers + TrimOverflow for the
-	// paper's design; DropTail for the baseline).
+	// paper's design; DropTail for the baseline). Setting
+	// Queue.AggregateTrimmable turns the switch into an in-network
+	// aggregator — most effective with the AlgParamServer incast.
 	Queue netsim.QueueConfig
 	// Mode selects the transport (Reliable baseline vs Trimmable).
 	Mode collective.Mode
+	// Algorithm selects the all-reduce schedule (zero value: AlgDirect).
+	Algorithm collective.Algorithm
 	// CrossRate, if nonzero, adds Poisson cross traffic at this many
 	// packets/s from a dedicated host toward each worker.
 	CrossRate float64
@@ -193,7 +197,7 @@ func (t *NetTrainer) Run() (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			msgBase += uint32(cfg.Workers)
+			msgBase += collective.MsgSpan(t.fabric.Algorithm, cfg.Workers)
 			opt.Step(t.model.Params(), avg)
 			roundSpans(t.obs, schemeName, wall,
 				cfg.Cost.Compute, encodeTime, commSecs)
@@ -231,15 +235,16 @@ func (t *NetTrainer) Run() (*Result, error) {
 	return res, nil
 }
 
-// exchangeRound runs one direct all-reduce on the live fabric and returns
-// the replica-consistent average and the measured communication seconds.
+// exchangeRound runs one all-reduce of the configured algorithm on the
+// live fabric and returns the replica-consistent average and the measured
+// communication seconds.
 func (t *NetTrainer) exchangeRound(epoch uint64, msgBase uint32, grads [][]float32, dim int) ([]float32, float64, error) {
 	n := t.cfg.Workers
 	results := make([][]float32, n)
 	var lastDone netsim.Time
 	var opErr error
 	start := t.sim.Now()
-	err := collective.AllReduceDirect(epoch, msgBase, t.workers, grads,
+	err := collective.AllReduce(t.fabric.Algorithm, epoch, msgBase, t.workers, grads,
 		func(rank int, avg []float32, at netsim.Time) {
 			results[rank] = avg
 			if at > lastDone {

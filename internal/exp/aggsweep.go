@@ -1,0 +1,156 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"trimgrad/internal/collective"
+	"trimgrad/internal/core"
+	"trimgrad/internal/netsim"
+	"trimgrad/internal/quant"
+	"trimgrad/internal/transport"
+	"trimgrad/internal/vecmath"
+)
+
+// runAggSweep is the aggregation-placement sweep (E12): every all-reduce
+// algorithm crossed with in-network aggregation on/off, under a shallow
+// trimming switch. The matrix shows where each schedule's congestion
+// forms and which ones an aggregating switch actually helps: the
+// parameter-server incast carries shared aggregation keys, so the switch
+// folds its flows in flight (merges > 0, queue pressure and trim fraction
+// collapse), while peer-to-peer schedules never present mergeable keys
+// and pass through an aggregating switch unchanged. The decode-error
+// column doubles as an end-to-end check of the survivor-prefix
+// intersection rule: aggregation must not cost accuracy beyond what
+// trimming alone already cost.
+func runAggSweep(w io.Writer, o Options) error {
+	n := 8
+	dim := 1 << 15
+	if o.Quick {
+		n = 4
+		dim = 1 << 13
+	}
+	schemes := []quant.Params{
+		{Scheme: quant.Sign},
+		{Scheme: quant.RHT},
+	}
+	if o.Quick {
+		schemes = schemes[:1]
+	}
+
+	exact := make([]float32, dim)
+	grads := make([][]float32, n)
+	for i := range grads {
+		grads[i] = randGrad(uint64(60+i)+o.Seed, dim)
+		vecmath.Add(exact, grads[i])
+	}
+	vecmath.Scale(exact, 1/float32(n))
+
+	t := NewTable("Aggregation placement: collective x switch aggregation (E12)",
+		"scheme", "collective", "switch_agg", "completion_ms", "trim_frac",
+		"switch_merges", "trimmed_pkts", "nmse", "completed")
+	for _, p := range schemes {
+		for _, alg := range collective.Algorithms() {
+			for _, agg := range []bool{false, true} {
+				row, err := runAggSweepCell(p, alg, agg, n, dim, grads, exact, o)
+				if err != nil {
+					return fmt.Errorf("exp: aggsweep %s/%s: %w", p.Scheme, alg, err)
+				}
+				t.Add(row...)
+			}
+		}
+	}
+	return emit(w, o, t)
+}
+
+// runAggSweepCell runs one matrix cell: a single all-reduce round of alg
+// over a fresh star fabric whose switch trims under pressure and, when
+// agg is set, folds matching trimmable packets at the queue.
+func runAggSweepCell(p quant.Params, alg collective.Algorithm, agg bool,
+	n, dim int, grads [][]float32, exact []float32, o Options) ([]any, error) {
+	sim := netsim.NewSim()
+	qcfg := netsim.QueueConfig{
+		CapacityBytes:      48 << 10,
+		HighCapacityBytes:  1 << 20,
+		Mode:               netsim.TrimOverflow,
+		AggregateTrimmable: agg,
+	}
+	star := netsim.BuildStar(sim, n,
+		netsim.LinkConfig{Bandwidth: netsim.Gbps(10), Delay: 5 * netsim.Microsecond},
+		qcfg)
+	workers := make([]*collective.Worker, n)
+	for i := 0; i < n; i++ {
+		stack, err := transport.New(star.Hosts[i])
+		if err != nil {
+			return nil, err
+		}
+		w, err := collective.New(i, stack,
+			collective.WithConfig(core.Config{Params: p, RowSize: 1 << 12}),
+			collective.WithMode(collective.Trimmable),
+			collective.WithDeadline(10*netsim.Second))
+		if err != nil {
+			return nil, err
+		}
+		workers[i] = w
+	}
+
+	results := make([][]float32, n)
+	var lastDone netsim.Time
+	var opErr error
+	start := sim.Now()
+	err := collective.AllReduce(alg, 1, 100, workers, grads,
+		func(rank int, avg []float32, at netsim.Time) {
+			results[rank] = avg
+			if at > lastDone {
+				lastDone = at
+			}
+		},
+		func(rank int, err error) {
+			if opErr == nil {
+				opErr = fmt.Errorf("rank %d: %w", rank, err)
+			}
+		})
+	if err != nil {
+		return nil, err
+	}
+	sim.RunUntil(20 * netsim.Second)
+	if opErr != nil {
+		return nil, opErr
+	}
+
+	completed := 0
+	var nmse float64
+	trimmed, total := 0, 0
+	for rank, got := range results {
+		if got == nil {
+			continue
+		}
+		completed++
+		nmse += vecmath.NMSE(exact, got)
+		trimmed += workers[rank].AggStats.TrimmedCoords
+		total += workers[rank].AggStats.TotalCoords
+	}
+	if completed > 0 {
+		nmse /= float64(completed)
+	}
+	merges, trims := 0, 0
+	for i := 0; i < n; i++ {
+		st := star.Switch.Port(netsim.NodeID(i)).Stats
+		merges += st.Aggregated
+		trims += st.Trimmed
+	}
+	trimFrac := 0.0
+	if total > 0 {
+		trimFrac = float64(trimmed) / float64(total)
+	}
+	return []any{
+		quant.MustNew(p).Name(), alg.String(), agg,
+		float64(lastDone-start) / float64(netsim.Millisecond),
+		trimFrac, merges, trims, nmse,
+		fmt.Sprintf("%d/%d", completed, n),
+	}, nil
+}
+
+func init() {
+	register(Runner{"aggsweep", "aggregation placement: collective x switch agg (E12)", runAggSweep})
+}

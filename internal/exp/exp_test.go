@@ -31,6 +31,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig3", "fig4", "fig5", "baseline-drops", "incast",
 		"multilevel", "wire-math", "layout", "compose", "fsdp",
+		"aggsweep",
 	}
 	for _, name := range want {
 		if _, ok := Lookup(name); !ok {

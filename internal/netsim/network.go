@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"trimgrad/internal/obs"
+	"trimgrad/internal/wire"
 	"trimgrad/internal/xrand"
 )
 
@@ -56,6 +57,13 @@ type QueueConfig struct {
 	LossRate float64
 	// LossSeed seeds the random-loss stream.
 	LossSeed uint64
+	// AggregateTrimmable enables SwitchML-style in-network aggregation at
+	// this node's output queues: trimmable gradient packets for the same
+	// destination and aggregation key are folded into a single aggregate
+	// packet carrying native-domain sums (DESIGN.md §13). Composes with
+	// Mode — an aggregate overflowing the queue is trimmed, not dropped,
+	// under TrimOverflow.
+	AggregateTrimmable bool
 }
 
 func (q QueueConfig) withDefaults() QueueConfig {
@@ -160,6 +168,10 @@ type PortStats struct {
 	// (link flap or partition). Kept separate from Dropped so loss-rate
 	// assertions in congestion experiments stay meaningful.
 	DownDrops int
+	// Aggregated counts merge events: each is one arriving packet folded
+	// into a queued one (so k original packets becoming one aggregate
+	// count k−1). Only nonzero with QueueConfig.AggregateTrimmable.
+	Aggregated int
 }
 
 // portObs mirrors PortStats into the simulator's telemetry registry. The
@@ -174,6 +186,7 @@ type portObs struct {
 	trimmed      *obs.Counter
 	ecnMarked    *obs.Counter
 	downDrops    *obs.Counter
+	aggregated   *obs.Counter
 	queueDepth   *obs.Histogram
 }
 
@@ -187,6 +200,7 @@ func newPortObs(r *obs.Registry, owner, peer NodeID) portObs {
 		trimmed:      r.Counter(prefix + "trimmed_total"),
 		ecnMarked:    r.Counter(prefix + "ecn_marked_total"),
 		downDrops:    r.Counter(prefix + "down_drops_total"),
+		aggregated:   r.Counter(prefix + "aggregated_total"),
 		queueDepth:   r.Histogram(prefix+"queue_depth_bytes", obs.BucketsBytes()),
 	}
 }
@@ -205,8 +219,12 @@ type Port struct {
 	lossRNG *xrand.Rand
 	faults  *FaultInjector
 	down    bool
-	Stats   PortStats
-	obs     portObs
+	// metaOf resolves snooped per-(flow, message, row) metadata for the
+	// aggregation merge path; wired by Switch.attach when the owning
+	// switch aggregates, nil otherwise.
+	metaOf func(flow, msg, row uint32) (wire.MetaInfo, bool)
+	Stats  PortStats
+	obs    portObs
 }
 
 func newPort(sim *Sim, owner NodeID, peer Node, link LinkConfig, cfg QueueConfig) *Port {
@@ -255,6 +273,15 @@ func (p *Port) admit(pkt *Packet) {
 		p.Stats.DroppedBytes += pkt.Size
 		p.obs.dropped.Inc()
 		p.obs.droppedBytes.Add(int64(pkt.Size))
+		p.sim.releasePacket(pkt)
+		return
+	}
+	// Aggregation runs before ECN marking and capacity checks: a folded
+	// packet adds no new queue entry, so it neither signals congestion nor
+	// competes for buffer space.
+	if p.cfg.AggregateTrimmable && p.tryAggregate(pkt) {
+		// The absorbed packet's terminal point: its payload has been folded
+		// into the queued aggregate.
 		p.sim.releasePacket(pkt)
 		return
 	}
@@ -342,6 +369,9 @@ type Switch struct {
 	cfg    QueueConfig
 	ports  map[NodeID]*Port // keyed by next-hop node id
 	routes map[NodeID]NodeID
+	// metaCache holds metadata snooped for the aggregation merge path
+	// (nil until the first metadata packet passes an aggregating switch).
+	metaCache map[aggMetaKey]wire.MetaInfo
 	// RouteMisses counts packets with no route (dropped).
 	RouteMisses int
 }
@@ -350,7 +380,11 @@ type Switch struct {
 func (s *Switch) ID() NodeID { return s.id }
 
 func (s *Switch) attach(peer Node, link LinkConfig) {
-	s.ports[peer.ID()] = newPort(s.sim, s.id, peer, link, s.cfg)
+	p := newPort(s.sim, s.id, peer, link, s.cfg)
+	if s.cfg.AggregateTrimmable {
+		p.metaOf = s.metaInfo
+	}
+	s.ports[peer.ID()] = p
 	// A directly-connected peer routes to itself by default.
 	s.routes[peer.ID()] = peer.ID()
 }
@@ -366,6 +400,9 @@ func (s *Switch) portTo(peer NodeID) *Port { return s.ports[peer] }
 
 // Deliver implements Node: route and enqueue.
 func (s *Switch) Deliver(pkt *Packet) {
+	if s.cfg.AggregateTrimmable {
+		s.snoopMeta(pkt)
+	}
 	next, ok := s.routes[pkt.Dst]
 	if !ok {
 		s.RouteMisses++

@@ -184,6 +184,11 @@ type Sim struct {
 	freeEv  *event
 	freePkt []*Packet
 
+	// controlMerger, when set, lets the transport layer re-describe a
+	// merged packet's control header during in-network aggregation (see
+	// SetControlMerger). Nil means only control-free packets may merge.
+	controlMerger func(into, from *Packet, merged []byte) (any, bool)
+
 	// aliasFaults counts attached fault injectors whose config can alias
 	// packet payloads (duplication clones share-on-write, reordering holds
 	// a payload across re-admission). payloadRecyclers counts transports
@@ -219,6 +224,18 @@ func (s *Sim) MarkPayloadRecycling() error {
 // HasAliasingFaults reports whether any attached fault injector can alias
 // payloads (duplication or reordering enabled).
 func (s *Sim) HasAliasingFaults() bool { return s.aliasFaults > 0 }
+
+// SetControlMerger registers the transport hook the aggregation merge path
+// consults before folding two packets (QueueConfig.AggregateTrimmable):
+// given the two packets and the merged wire payload, it returns the control
+// header describing the aggregate — typically the concatenation of both
+// inputs' reassembly entries plus a fresh datagram checksum — or ok=false
+// to veto the merge (e.g. the two packets share a sender, so folding would
+// double-count). Every transport stack registers the same package-level
+// function, so repeated registration is idempotent.
+func (s *Sim) SetControlMerger(fn func(into, from *Packet, merged []byte) (any, bool)) {
+	s.controlMerger = fn
+}
 
 // setObs binds a telemetry registry to this simulator. The registry's
 // clock becomes the virtual clock, so every span and timestamp recorded

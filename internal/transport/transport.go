@@ -240,6 +240,11 @@ func New(h *netsim.Host, opts ...Opt) (*Stack, error) {
 		trimRx:   make(map[msgKey]*trimReceiver),
 	}
 	h.Handler = s.handle
+	// Let aggregating switches fold trim-aware data packets: the merger
+	// rebuilds the control header (reassembly entries + checksum) for the
+	// merged payload. Package-level, so re-registration per stack is
+	// idempotent.
+	h.Sim().SetControlMerger(mergeControls)
 	return s, nil
 }
 
@@ -268,6 +273,8 @@ func (s *Stack) handle(p *netsim.Packet) {
 		s.handleRelAck(p, c)
 	case trimData:
 		s.handleTrimData(p, c)
+	case trimAggData:
+		s.handleTrimAgg(p, c)
 	case trimMeta:
 		s.handleTrimMeta(p, c)
 	case trimMetaAck:

@@ -1,0 +1,104 @@
+package transport
+
+import "trimgrad/internal/netsim"
+
+// In-network aggregation support. When an aggregating switch folds two
+// trim-aware data packets (netsim's AggregateTrimmable merge path), the
+// transport must keep its reassembly accounting coherent: the merged
+// packet stands in for several original sender packets, each tracked by a
+// different (src, msgID) receiver. The control merger below re-describes
+// the aggregate as the concatenation of its inputs' entries, and the
+// receive handler credits every entry while delivering the payload once.
+
+// trimAggEntry identifies one original sender packet folded into an
+// aggregate.
+type trimAggEntry struct {
+	Src   netsim.NodeID
+	MsgID uint32
+	Idx   int
+	Total int
+}
+
+// trimAggData is the control header of a switch-built aggregate packet.
+type trimAggData struct {
+	Entries []trimAggEntry
+	Sum     uint32 // datagram checksum over the merged (untrimmed) payload
+}
+
+// aggEntries flattens a data packet's control into reassembly entries.
+func aggEntries(p *netsim.Packet) ([]trimAggEntry, bool) {
+	switch c := p.Control.(type) {
+	case trimData:
+		return []trimAggEntry{{Src: p.Src, MsgID: c.MsgID, Idx: c.Idx, Total: c.Total}}, true
+	case trimAggData:
+		return c.Entries, true
+	}
+	return nil, false
+}
+
+// mergeControls is the netsim control merger (Sim.SetControlMerger): it
+// builds the aggregate's control header from the two inputs', or vetoes
+// the merge when either input is not trim-aware data or when the inputs
+// share an original packet (a retransmit meeting its queued self, or two
+// aggregates with a common ancestor — folding would double-count).
+func mergeControls(into, from *netsim.Packet, merged []byte) (any, bool) {
+	ea, ok := aggEntries(into)
+	if !ok {
+		return nil, false
+	}
+	eb, ok := aggEntries(from)
+	if !ok {
+		return nil, false
+	}
+	for _, a := range ea {
+		for _, b := range eb {
+			if a.Src == b.Src && a.MsgID == b.MsgID && a.Idx == b.Idx {
+				return nil, false
+			}
+		}
+	}
+	entries := make([]trimAggEntry, 0, len(ea)+len(eb))
+	entries = append(append(entries, ea...), eb...)
+	return trimAggData{Entries: entries, Sum: payloadSum(merged)}, true
+}
+
+// handleTrimAgg accounts a switch-built aggregate to every folded sender's
+// reassembly state and delivers the payload once. Duplicate rejection is
+// all-or-nothing: if any entry was already accounted for, the whole
+// aggregate is discarded — delivering it would double-count that sender —
+// and the other senders' packets recover through the normal NACK path.
+func (s *Stack) handleTrimAgg(p *netsim.Packet, c trimAggData) {
+	rxs := make([]*trimReceiver, len(c.Entries))
+	for i, e := range c.Entries {
+		rxs[i] = s.trimReceiverFor(e.Src, e.MsgID, 0, e.Total)
+	}
+	if !s.validPayload(p, c.Sum) {
+		for _, rx := range rxs {
+			rx.armNack()
+		}
+		return
+	}
+	for i, e := range c.Entries {
+		if e.Idx < 0 || e.Idx >= len(rxs[i].dataGot) {
+			return
+		}
+		if rxs[i].dataGot[e.Idx] {
+			s.Stats.DupsReceived++
+			s.obs.dupsReceived.Inc()
+			return
+		}
+	}
+	if p.Trimmed {
+		s.Stats.TrimmedReceived++
+		s.obs.trimmedReceived.Inc()
+	}
+	for i, e := range c.Entries {
+		rxs[i].dataGot[e.Idx] = true
+		rxs[i].nDataGot++
+	}
+	s.deliver(p.Src, p.Payload)
+	for _, rx := range rxs {
+		rx.armNack()
+		rx.maybeComplete()
+	}
+}

@@ -83,7 +83,7 @@ func ParseDataPacket(buf []byte) (*DataPacket, error) {
 	if err != nil {
 		return nil, err
 	}
-	if h.IsMeta() || h.IsNaive() {
+	if h.IsMeta() || h.IsNaive() || h.IsAgg() {
 		return nil, ErrNotData
 	}
 	// Reject forged/corrupt geometry before any bit arithmetic: heads are

@@ -25,6 +25,8 @@ func Validate(buf []byte) error {
 		_, err = ParseMetaPacket(buf)
 	case h.IsNaive():
 		_, err = ParseNaivePacket(buf)
+	case h.IsAgg():
+		_, err = ParseAggPacket(buf)
 	default:
 		_, err = ParseDataPacket(buf)
 	}

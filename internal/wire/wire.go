@@ -69,6 +69,11 @@ const (
 	FlagMeta = 1 << 1
 	// FlagNaive marks a Figure-2(a) whole-float packet.
 	FlagNaive = 1 << 2
+	// FlagAgg marks an in-network aggregate: the switch-side sum of two or
+	// more trimmable data packets with matching (message, row, offset,
+	// seed) keys. Its payload holds decoded float32 sums, not head/tail
+	// bits (see agg.go).
+	FlagAgg = 1 << 3
 )
 
 // Field offsets within the fixed header.
@@ -122,6 +127,9 @@ func (h *Header) IsMeta() bool { return h.Flags&FlagMeta != 0 }
 
 // IsNaive reports whether this is a naive whole-float packet.
 func (h *Header) IsNaive() bool { return h.Flags&FlagNaive != 0 }
+
+// IsAgg reports whether this is an in-network aggregate packet.
+func (h *Header) IsAgg() bool { return h.Flags&FlagAgg != 0 }
 
 // HeadBytes returns the byte length of the packed head region.
 func (h *Header) HeadBytes() int { return (int(h.P)*int(h.Count) + 7) / 8 }

@@ -4,7 +4,8 @@
 # Runs the hot-path benchmark suite (the BenchmarkHot* family in
 # bench_test.go: encode+decode round, matmul kernels, ml epoch — each
 # with serial and parallel variants) plus the per-figure micro
-# benchmarks, and converts the output into BENCH_<date>.json via
+# benchmarks, the fabric fast-path suite, and the collective-zoo
+# all-reduce suite, and converts the output into BENCH_<date>.json via
 # tools/benchjson. Each checked-in BENCH file is one point on the perf
 # trajectory; the "speedups" section pairs every */serial with its
 # */parallel sibling on the hardware the script ran on.
@@ -18,7 +19,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 date=${BENCH_DATE:-$(date +%Y-%m-%d)}
-pattern=${BENCH_PATTERN:-'Hot|Fig5|FWHT|E5WirePack|Fabric'}
+pattern=${BENCH_PATTERN:-'Hot|Fig5|FWHT|E5WirePack|Fabric|Collective'}
 benchtime=${BENCH_TIME:-3x}
 out="BENCH_${date}.json"
 raw=$(mktemp /tmp/trimgrad-bench.XXXXXX.txt)

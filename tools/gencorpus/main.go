@@ -35,6 +35,10 @@ func writeEntry(target, name string, values ...any) {
 			body += "[]byte(" + strconv.Quote(string(x)) + ")\n"
 		case uint64:
 			body += fmt.Sprintf("uint64(%d)\n", x)
+		case uint:
+			body += fmt.Sprintf("uint(%d)\n", x)
+		case uint8:
+			body += fmt.Sprintf("byte(%q)\n", x)
 		case int:
 			body += fmt.Sprintf("int(%d)\n", x)
 		default:
@@ -92,5 +96,40 @@ func main() {
 	writeEntry("FuzzTrimPreservesHeads", "small", uint64(11), 16, 60)
 	writeEntry("FuzzTrimPreservesHeads", "cut-in-tails", uint64(12), 128, 300)
 	writeEntry("FuzzTrimPreservesHeads", "below-boundary", uint64(13), 200, 41)
+
+	// Aggregate-merge corpus: (seed, count, tcA, tcB, mutate) tuples
+	// covering matched keys at assorted trim points, the degenerate one-
+	// coordinate packet, and each key-field mutation the merge must reject.
+	writeEntry("FuzzAggregateMerge", "untrimmed", uint64(21), uint(64), uint(64), uint(64), uint8(0))
+	writeEntry("FuzzAggregateMerge", "asymmetric-trim", uint64(22), uint(64), uint(5), uint(48), uint8(0))
+	writeEntry("FuzzAggregateMerge", "fully-trimmed", uint64(23), uint(32), uint(0), uint(0), uint8(0))
+	writeEntry("FuzzAggregateMerge", "one-coord", uint64(24), uint(1), uint(1), uint(0), uint8(0))
+	writeEntry("FuzzAggregateMerge", "mismatch-message", uint64(25), uint(16), uint(8), uint(8), uint8(1))
+	writeEntry("FuzzAggregateMerge", "mismatch-row", uint64(26), uint(16), uint(8), uint(8), uint8(2))
+	writeEntry("FuzzAggregateMerge", "mismatch-offset", uint64(27), uint(16), uint(8), uint(8), uint8(4))
+
+	// Aggregate-parse corpus: valid full and trimmed aggregates plus
+	// corrupted and truncated variants.
+	aggSums := make([]float32, 24)
+	for i := range aggSums {
+		aggSums[i] = float32(i) - 11.5
+	}
+	aggHdr := h
+	aggHdr.Flow = 3
+	aggHdr.Count = uint16(len(aggSums))
+	aggFull, err := wire.BuildAggPacket(aggHdr, aggSums, aggSums)
+	if err != nil {
+		log.Fatal(err)
+	}
+	aggTrimmed, err := wire.BuildAggPacket(aggHdr, aggSums, aggSums[:7])
+	if err != nil {
+		log.Fatal(err)
+	}
+	writeEntry("FuzzParseAggPacket", "valid-agg", aggFull)
+	writeEntry("FuzzParseAggPacket", "trimmed-agg", aggTrimmed)
+	writeEntry("FuzzParseAggPacket", "corrupt-header", corrupt(aggFull, 13))
+	writeEntry("FuzzParseAggPacket", "corrupt-sums", corrupt(aggFull, wire.HeaderSize+3))
+	writeEntry("FuzzParseAggPacket", "truncated", aggFull[:wire.HeaderSize+9])
+	writeEntry("FuzzParseAggPacket", "valid-data", data)
 	fmt.Println("wrote corpora under", corpusRoot)
 }
