@@ -1,12 +1,14 @@
 // Command netsim runs a standalone network simulation of gradient traffic
-// through a congested fabric and prints flow-completion and queue
-// statistics — the motivation experiments of §1–§2.
+// through a congested fabric and prints flow-completion and per-tier
+// queue statistics — the motivation experiments of §1–§2.
 //
 // Examples:
 //
-//	netsim -topology star -senders 8 -mode trim
-//	netsim -topology star -senders 8 -mode trim -agg
-//	netsim -topology dumbbell -senders 4 -mode drop -cross 5e5
+//	netsim -topo star -senders 8 -mode trim
+//	netsim -topo star -senders 8 -mode trim -agg
+//	netsim -topo dumbbell -senders 4 -mode drop -cross 5e5
+//	netsim -topo fattree -k 4 -workload incast
+//	netsim -topo leafspine -leaves 4 -spines 2 -oversub 4 -workload permutation
 package main
 
 import (
@@ -21,21 +23,66 @@ import (
 	"trimgrad/internal/transport"
 )
 
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "netsim:", err)
+	os.Exit(1)
+}
+
+// buildTopology constructs the -topo fabric. Star/dumbbell/ring size from
+// -senders (plus one receiver host); fattree sizes from -k; leafspine
+// from -leaves/-spines/-hostsperleaf and thins its uplinks by -oversub.
+func buildTopology(sim *netsim.Sim, kind string, senders, k, leaves, spines, perLeaf int,
+	oversub float64, link netsim.LinkConfig, q netsim.QueueConfig, seed uint64,
+	reg *obs.Registry) (*netsim.Topology, error) {
+	opt := netsim.WithRegistry(reg)
+	switch kind {
+	case "star":
+		return netsim.NewStar(sim, senders+1, link, q, opt), nil
+	case "dumbbell":
+		return netsim.NewDumbbell(sim, senders, 1, link, link, q, opt), nil
+	case "ring":
+		return netsim.NewRing(sim, senders+1, link, link, q, opt), nil
+	case "fattree":
+		return netsim.NewFatTree(sim, netsim.FatTreeConfig{
+			K: k, HostLink: link, Queue: q, ECMPSeed: seed,
+		}, opt)
+	case "leafspine":
+		return netsim.NewLeafSpine(sim, netsim.LeafSpineConfig{
+			Leaves: leaves, Spines: spines, HostsPerLeaf: perLeaf,
+			HostLink: link, Oversub: oversub, Queue: q, ECMPSeed: seed,
+		}, opt)
+	}
+	return nil, fmt.Errorf("unknown topology %q", kind)
+}
+
 func main() {
+	var topo string
+	flag.StringVar(&topo, "topo", "star", "topology: star|dumbbell|ring|fattree|leafspine")
+	flag.StringVar(&topo, "topology", "star", "alias for -topo")
 	var (
-		topology = flag.String("topology", "star", "star|dumbbell")
-		senders  = flag.Int("senders", 8, "number of gradient senders")
+		workload = flag.String("workload", "incast", "gradient traffic pattern: incast|alltoall|permutation")
+		senders  = flag.Int("senders", 8, "gradient senders (star/dumbbell/ring host count minus the receiver)")
+		k        = flag.Int("k", 4, "fat-tree arity (fattree topology; k³/4 hosts)")
+		leaves   = flag.Int("leaves", 4, "leaf switches (leafspine topology)")
+		spines   = flag.Int("spines", 2, "spine switches (leafspine topology)")
+		perLeaf  = flag.Int("hostsperleaf", 4, "hosts per leaf (leafspine topology)")
+		oversub  = flag.Float64("oversub", 1, "leaf oversubscription ratio (leafspine topology)")
 		mode     = flag.String("mode", "trim", "switch behaviour: trim|drop")
-		agg      = flag.Bool("agg", false, "aggregate trimmable packets in the switch (senders share one message ID); needs -mode trim")
+		agg      = flag.Bool("agg", false, "aggregate trimmable packets in the switches (senders share one message ID); needs -mode trim")
 		dim      = flag.Int("dim", 1<<16, "gradient coordinates per sender")
 		buffer   = flag.Int("buffer", 64<<10, "switch buffer bytes per port")
 		gbps     = flag.Float64("gbps", 10, "link bandwidth in Gbit/s")
-		cross    = flag.Float64("cross", 0, "cross-traffic rate (packets/s) per sender host")
+		cross    = flag.Float64("cross", 0, "legacy cross-traffic rate (packets/s) per gradient sender toward its receiver")
+		mice     = flag.Float64("mice", 0, "background mouse-flow rate (packets/s per host; 200 B packets)")
+		elephant = flag.Float64("elephants", 0, "background elephant-flow rate (packets/s per fourth host; 1500 B packets)")
 		seed     = flag.Uint64("seed", 1, "seed")
 		metrics  = flag.String("metrics", "", "export per-port/transport telemetry and flow spans as JSONL to this file")
 	)
 	flag.Parse()
 
+	if _, err := netsim.ParseTopology(topo); err != nil {
+		fail(err)
+	}
 	qcfg := netsim.QueueConfig{
 		CapacityBytes:     *buffer,
 		HighCapacityBytes: 8 * *buffer,
@@ -58,49 +105,48 @@ func main() {
 		reg = obs.New()
 	}
 	sim := netsim.NewSim()
-	var hosts []*netsim.Host
-	var receiver *netsim.Host
-	var bottleneck *netsim.Port
-	switch *topology {
-	case "star":
-		star := netsim.BuildStar(sim, *senders+1, link, qcfg, netsim.WithRegistry(reg))
-		hosts = star.Hosts[:*senders]
-		receiver = star.Hosts[*senders]
-		bottleneck = star.Switch.Port(receiver.ID())
-	case "dumbbell":
-		d := netsim.BuildDumbbell(sim, *senders, 1, link, link, qcfg, netsim.WithRegistry(reg))
-		hosts = d.LeftHosts
-		receiver = d.RightHosts[0]
-		bottleneck = d.Left.Port(d.Right.ID())
-	default:
-		fmt.Fprintf(os.Stderr, "netsim: unknown topology %q\n", *topology)
-		os.Exit(2)
-	}
-
-	rx, err := transport.New(receiver)
+	t, err := buildTopology(sim, topo, *senders, *k, *leaves, *spines, *perLeaf,
+		*oversub, link, qcfg, *seed, reg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "netsim:", err)
-		os.Exit(1)
+		fail(err)
 	}
-	rx.Receiver = transport.ReceiverFunc(func(netsim.NodeID, []byte) {})
+	nHosts := len(t.Hosts)
+	w, err := netsim.ParseWorkload(*workload, nHosts, *seed)
+	if err != nil {
+		fail(err)
+	}
+	if *mice > 0 || *elephant > 0 {
+		w = netsim.Merge(w.Name+"+bg", w,
+			netsim.BackgroundMix(nHosts, *mice, *elephant, *seed))
+	}
+	flows := w.GradientFlows()
+
+	// One transport stack per host that sends or receives gradients.
+	stacks := make(map[int]*transport.Stack)
+	stackFor := func(h int) *transport.Stack {
+		if s, ok := stacks[h]; ok {
+			return s
+		}
+		s, err := transport.New(t.Hosts[h])
+		if err != nil {
+			fail(err)
+		}
+		s.Receiver = transport.ReceiverFunc(func(netsim.NodeID, []byte) {})
+		stacks[h] = s
+		return s
+	}
 
 	fct := netsim.NewFCTRecorder()
 	fct.Obs = reg
 	completed := 0
-	var stacks []*transport.Stack
-	for i, h := range hosts {
-		s, err := transport.New(h)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "netsim:", err)
-			os.Exit(1)
-		}
-		stacks = append(stacks, s)
+	for i, f := range flows {
+		src, dst := stackFor(f.Src), stackFor(f.Dst)
+		_ = dst // created so the destination can reassemble
 		enc, err := core.NewEncoder(core.Config{
 			Params: quant.Params{Scheme: quant.RHT}, RowSize: 1 << 13, Flow: uint32(i),
 		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "netsim:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		grad := make([]float32, *dim)
 		for j := range grad {
@@ -116,55 +162,79 @@ func main() {
 		}
 		msg, err := enc.Encode(*seed, msgID, grad)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "netsim:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		id := uint64(i + 1)
 		fct.FlowStarted(id, 0)
 		onDone := func(at netsim.Time) { completed++; fct.FlowFinished(id, at) }
+		dstID := t.Hosts[f.Dst].ID()
 		if qcfg.Mode == netsim.TrimOverflow {
-			s.SendTrimmable(receiver.ID(), msgID, msg.Meta, msg.Data, onDone, nil)
+			src.SendTrimmable(dstID, msgID, msg.Meta, msg.Data, onDone, nil)
 		} else {
 			payloads := append(append([][]byte{}, msg.Meta...), msg.Data...)
-			s.SendReliable(receiver.ID(), msgID, payloads, onDone, nil)
+			src.SendReliable(dstID, msgID, payloads, onDone, nil)
 		}
 		if *cross > 0 {
-			ct := netsim.NewCrossTraffic(h, receiver.ID(), 1500, *cross, *seed+uint64(i))
+			ct := netsim.NewCrossTraffic(t.Hosts[f.Src], dstID, 1500, *cross, *seed+uint64(i))
 			ct.Start()
 		}
 	}
-	sim.RunUntil(60 * netsim.Second)
+	bg := w.StartBackground(t, *seed+17)
+	// Run in slices and stop once every gradient flow lands: open-loop
+	// background and cross traffic never drain the event queue, so a fixed
+	// horizon would simulate long stretches of pure background.
+	const slice = 10 * netsim.Millisecond
+	for now := netsim.Time(0); completed < len(flows) && now < 60*netsim.Second; now += slice {
+		sim.RunUntil(now + slice)
+	}
+	for _, ct := range bg {
+		ct.Stop()
+	}
 
-	retrans, trimmedRx := 0, 0
+	retrans := 0
 	for _, s := range stacks {
 		retrans += s.Stats.Retransmits
 	}
-	trimmedRx = rx.Stats.TrimmedReceived
+	trimmedRx := 0
+	for _, s := range stacks {
+		trimmedRx += s.Stats.TrimmedReceived
+	}
 
-	fmt.Printf("topology=%s mode=%s agg=%v senders=%d dim=%d buffer=%dB\n",
-		*topology, *mode, *agg, *senders, *dim, *buffer)
-	fmt.Printf("completed           %d/%d\n", completed, *senders)
+	fmt.Printf("topology=%s workload=%s mode=%s agg=%v hosts=%d flows=%d dim=%d buffer=%dB\n",
+		t.Kind, w.Name, *mode, *agg, nHosts, len(flows), *dim, *buffer)
+	fmt.Printf("completed           %d/%d\n", completed, len(flows))
 	fmt.Printf("FCT p50 / p99 / max %v / %v / %v\n",
 		fct.Percentile(0.5), fct.Percentile(0.99), fct.Max())
 	fmt.Printf("retransmits         %d\n", retrans)
 	fmt.Printf("trimmed received    %d\n", trimmedRx)
-	if bottleneck != nil {
-		st := bottleneck.Stats
-		fmt.Printf("bottleneck port     enq=%d tx=%d trim=%d drop=%d agg=%d maxQ=%dB\n",
-			st.Enqueued, st.Transmitted, st.Trimmed, st.Dropped, st.Aggregated,
-			st.MaxQueueBytes)
+	for _, tier := range t.Tiers {
+		var st netsim.PortStats
+		maxQ := 0
+		for _, sw := range tier.Switches {
+			for _, p := range sw.Ports() {
+				st.Enqueued += p.Stats.Enqueued
+				st.Transmitted += p.Stats.Transmitted
+				st.Trimmed += p.Stats.Trimmed
+				st.Dropped += p.Stats.Dropped
+				st.Aggregated += p.Stats.Aggregated
+				if p.Stats.MaxQueueBytes > maxQ {
+					maxQ = p.Stats.MaxQueueBytes
+				}
+			}
+		}
+		fmt.Printf("tier %-6s (%2d sw) enq=%d tx=%d trim=%d drop=%d agg=%d maxQ=%dB\n",
+			tier.Name, len(tier.Switches), st.Enqueued, st.Transmitted,
+			st.Trimmed, st.Dropped, st.Aggregated, maxQ)
 	}
 
 	if *metrics != "" {
 		f, err := os.Create(*metrics)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "netsim:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		defer f.Close()
 		if err := obs.WriteJSONL(f, reg.Snapshot()); err != nil {
-			fmt.Fprintln(os.Stderr, "netsim:", err)
-			os.Exit(1)
+			fail(err)
 		}
 	}
 }

@@ -47,7 +47,7 @@ func makeGrads() [][]float32 {
 func run(algorithm string, grads [][]float32, exact []float32) {
 	sim := netsim.NewSim()
 	// Shallow trunk buffers force trimming when steps collide.
-	ring := netsim.BuildRing(sim, nWorkers,
+	ring := netsim.NewRing(sim, nWorkers,
 		netsim.LinkConfig{Bandwidth: netsim.Gbps(10), Delay: 2 * netsim.Microsecond},
 		netsim.LinkConfig{Bandwidth: netsim.Gbps(2), Delay: 5 * netsim.Microsecond},
 		netsim.QueueConfig{

@@ -22,7 +22,7 @@ func run(mode netsim.QueueMode, label string) {
 		dim      = 1 << 15
 	)
 	sim := netsim.NewSim()
-	star := netsim.BuildStar(sim, nSenders+2,
+	star := netsim.NewStar(sim, nSenders+2,
 		netsim.LinkConfig{Bandwidth: netsim.Gbps(10), Delay: 5 * netsim.Microsecond},
 		netsim.QueueConfig{
 			CapacityBytes: 64 << 10, HighCapacityBytes: 512 << 10, Mode: mode,
@@ -73,7 +73,7 @@ func run(mode netsim.QueueMode, label string) {
 	for _, s := range stacks {
 		retrans += s.Stats.Retransmits
 	}
-	st := star.Switch.Port(receiver.ID()).Stats
+	st := star.Tier(netsim.TierEdge)[0].Port(receiver.ID()).Stats
 	fmt.Printf("%-16s completed %d/%d  straggler(max FCT) %-12v p50 %-12v retransmits %-4d trims %-4d drops %d\n",
 		label, completed, nSenders, fct.Max(), fct.Percentile(0.5), retrans, st.Trimmed, st.Dropped)
 }

@@ -56,7 +56,7 @@ func main() {
 
 	for _, buffer := range []int{1 << 20, 24 << 10, 8 << 10} {
 		sim := netsim.NewSim()
-		star := netsim.BuildStar(sim, nWorkers,
+		star := netsim.NewStar(sim, nWorkers,
 			netsim.LinkConfig{Bandwidth: netsim.Gbps(2), Delay: 2 * netsim.Microsecond},
 			netsim.QueueConfig{
 				CapacityBytes: buffer, HighCapacityBytes: 1 << 20,

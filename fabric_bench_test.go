@@ -68,6 +68,53 @@ func BenchmarkFabricHop(b *testing.B) {
 	}
 }
 
+// BenchmarkFabricFatTree measures the pooled fast path on the multi-tier
+// fabric: a k=4 fat tree (16 hosts, 20 switches) under a full incast into
+// host 15, every sender a distinct ECMP flow so the load spreads across
+// the aggregation and core tiers. The per-hop metric divides by the exact
+// hop count of each flow's hashed path (PathFor), so it stays comparable
+// to BenchmarkFabricHop's star numbers as routing depth grows.
+func BenchmarkFabricFatTree(b *testing.B) {
+	const pktsPerSender = 16
+	sim := netsim.NewSim()
+	topo, err := netsim.NewFatTree(sim, netsim.FatTreeConfig{
+		K:        4,
+		HostLink: netsim.LinkConfig{Bandwidth: netsim.Gbps(10), Delay: netsim.Microsecond},
+		Queue:    netsim.QueueConfig{CapacityBytes: 1 << 20},
+		ECMPSeed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, h := range topo.Hosts {
+		h.Handler = func(*netsim.Packet) {}
+	}
+	sink := topo.Hosts[15].ID()
+	hops := 0
+	for s := 0; s < 15; s++ {
+		hops += pktsPerSender * (len(topo.PathFor(netsim.NodeID(s), sink, uint64(s+1))) - 1)
+	}
+	send := func() {
+		for j := 0; j < pktsPerSender; j++ {
+			for s := 0; s < 15; s++ {
+				pkt := sim.NewPacket()
+				pkt.Dst = sink
+				pkt.Size = 1500
+				pkt.FlowID = uint64(s + 1)
+				topo.Hosts[s].Send(pkt)
+			}
+		}
+		sim.Run()
+	}
+	send() // warm the event, packet, and queue pools
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		send()
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*hops), "ns/hop")
+}
+
 // BenchmarkFabricWheel measures raw scheduler throughput: events spread
 // across every level of the timer wheel (same-slot, in-window, overflow)
 // with no network attached. This isolates the tentpole — schedule +

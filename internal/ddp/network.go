@@ -38,6 +38,17 @@ type NetTrainer struct {
 
 // FabricConfig describes the simulated network under the training job.
 type FabricConfig struct {
+	// Topology selects the fabric: "star" (default), "fattree", or
+	// "leafspine". Multi-tier fabrics route worker traffic over ECMP
+	// paths, so gradient exchanges contend inside the fabric rather than
+	// at a single switch.
+	Topology string
+	// FatTreeK is the fat-tree arity; zero picks the smallest even k
+	// whose k³/4 hosts fit every worker (plus the cross-traffic host).
+	FatTreeK int
+	// Oversub is the leaf–spine oversubscription ratio (zero: 1, i.e.
+	// non-blocking).
+	Oversub float64
 	// Link is every host↔switch link.
 	Link netsim.LinkConfig
 	// Queue configures the switch (shallow buffers + TrimOverflow for the
@@ -57,6 +68,9 @@ type FabricConfig struct {
 }
 
 func (f FabricConfig) withDefaults() FabricConfig {
+	if f.Topology == "" {
+		f.Topology = "star"
+	}
 	if f.Link.Bandwidth == 0 {
 		f.Link = netsim.LinkConfig{Bandwidth: netsim.Gbps(10), Delay: 5 * netsim.Microsecond}
 	}
@@ -71,6 +85,42 @@ func (f FabricConfig) withDefaults() FabricConfig {
 		f.RoundTimeout = 10 * netsim.Second
 	}
 	return f
+}
+
+// buildFabric constructs the configured topology with at least nHosts
+// hosts. Workers occupy hosts 0..Workers-1 regardless of topology (the
+// builders order hosts by rank), so the collective's rank→NodeID mapping
+// needs no adjustment; Clos fabrics may round the host count up to the
+// fabric's natural size.
+func buildFabric(sim *netsim.Sim, f FabricConfig, nHosts int, opts ...netsim.Option) (*netsim.Topology, error) {
+	switch f.Topology {
+	case "star":
+		return netsim.NewStar(sim, nHosts, f.Link, f.Queue, opts...), nil
+	case "fattree":
+		k := f.FatTreeK
+		if k == 0 {
+			for k = 2; netsim.FatTreeHosts(k) < nHosts; k += 2 {
+			}
+		}
+		if netsim.FatTreeHosts(k) < nHosts {
+			return nil, fmt.Errorf("ddp: fat tree k=%d holds %d hosts, need %d",
+				k, netsim.FatTreeHosts(k), nHosts)
+		}
+		return netsim.NewFatTree(sim, netsim.FatTreeConfig{
+			K: k, HostLink: f.Link, Queue: f.Queue,
+		}, opts...)
+	case "leafspine":
+		const perLeaf = 4
+		leaves := (nHosts + perLeaf - 1) / perLeaf
+		if leaves < 2 {
+			leaves = 2
+		}
+		return netsim.NewLeafSpine(sim, netsim.LeafSpineConfig{
+			Leaves: leaves, Spines: 2, HostsPerLeaf: perLeaf,
+			HostLink: f.Link, Oversub: f.Oversub, Queue: f.Queue,
+		}, opts...)
+	}
+	return nil, fmt.Errorf("ddp: unknown fabric topology %q (want star|fattree|leafspine)", f.Topology)
 }
 
 // NewNetTrainer builds a closed-loop trainer from options: cfg.Workers
@@ -106,10 +156,12 @@ func NewNetTrainer(train, test *ml.Dataset, opts ...Option) (*NetTrainer, error)
 	if fabric.CrossRate > 0 {
 		nHosts++
 	}
-	star := netsim.BuildStar(nt.sim, nHosts, fabric.Link, fabric.Queue,
-		netsim.WithRegistry(o.reg))
+	topo, err := buildFabric(nt.sim, fabric, nHosts, netsim.WithRegistry(o.reg))
+	if err != nil {
+		return nil, err
+	}
 	for i := 0; i < cfg.Workers; i++ {
-		stack, err := transport.New(star.Hosts[i])
+		stack, err := transport.New(topo.Hosts[i])
 		if err != nil {
 			return nil, err
 		}
@@ -127,7 +179,7 @@ func NewNetTrainer(train, test *ml.Dataset, opts ...Option) (*NetTrainer, error)
 		nt.workers = append(nt.workers, w)
 	}
 	if fabric.CrossRate > 0 {
-		src := star.Hosts[nHosts-1]
+		src := topo.Hosts[len(topo.Hosts)-1]
 		for i := 0; i < cfg.Workers; i++ {
 			ct := netsim.NewCrossTraffic(src, netsim.NodeID(i), 1500,
 				fabric.CrossRate, cfg.Seed+uint64(i)*7)

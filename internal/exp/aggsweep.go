@@ -75,7 +75,7 @@ func runAggSweepCell(p quant.Params, alg collective.Algorithm, agg bool,
 		Mode:               netsim.TrimOverflow,
 		AggregateTrimmable: agg,
 	}
-	star := netsim.BuildStar(sim, n,
+	star := netsim.NewStar(sim, n,
 		netsim.LinkConfig{Bandwidth: netsim.Gbps(10), Delay: 5 * netsim.Microsecond},
 		qcfg)
 	workers := make([]*collective.Worker, n)
@@ -135,7 +135,7 @@ func runAggSweepCell(p quant.Params, alg collective.Algorithm, agg bool,
 	}
 	merges, trims := 0, 0
 	for i := 0; i < n; i++ {
-		st := star.Switch.Port(netsim.NodeID(i)).Stats
+		st := star.Tier(netsim.TierEdge)[0].Port(netsim.NodeID(i)).Stats
 		merges += st.Aggregated
 		trims += st.Trimmed
 	}

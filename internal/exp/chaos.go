@@ -62,7 +62,7 @@ func runChaos(w io.Writer, o Options) error {
 			// o.Obs (possibly nil: obs instruments are nil-safe) collects
 			// per-port, transport, and codec telemetry across every cell;
 			// the determinism regression test diffs two same-seed exports.
-			star := netsim.BuildStar(sim, 2,
+			star := netsim.NewStar(sim, 2,
 				netsim.LinkConfig{Bandwidth: netsim.Gbps(10), Delay: 5 * netsim.Microsecond},
 				netsim.QueueConfig{CapacityBytes: 1 << 20, HighCapacityBytes: 1 << 20, Mode: qmode},
 				netsim.WithRegistry(o.Obs))

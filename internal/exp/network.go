@@ -40,7 +40,7 @@ func runBaselineDrops(w io.Writer, o Options) error {
 		"loss_rate", "completion_ms", "slowdown", "retransmits", "status")
 	for _, rate := range rates {
 		sim := netsim.NewSim()
-		star := netsim.BuildStar(sim, 2,
+		star := netsim.NewStar(sim, 2,
 			netsim.LinkConfig{Bandwidth: netsim.Gbps(10), Delay: 5 * netsim.Microsecond},
 			netsim.QueueConfig{
 				CapacityBytes: 1 << 20, Mode: netsim.DropTail,
@@ -113,7 +113,7 @@ func runIncast(w io.Writer, o Options) error {
 				qcfg.Mode = netsim.TrimOverflow
 			}
 			sim := netsim.NewSim()
-			star := netsim.BuildStar(sim, n+1,
+			star := netsim.NewStar(sim, n+1,
 				netsim.LinkConfig{Bandwidth: netsim.Gbps(10), Delay: 5 * netsim.Microsecond},
 				qcfg)
 			rx := transport.NewStack(star.Hosts[n], transport.Config{})
@@ -153,7 +153,7 @@ func runIncast(w io.Writer, o Options) error {
 				retrans += s.Stats.Retransmits
 			}
 			var trims, drops int
-			port := star.Switch.Port(netsim.NodeID(n))
+			port := star.Tier(netsim.TierEdge)[0].Port(netsim.NodeID(n))
 			if port != nil {
 				trims, drops = port.Stats.Trimmed, port.Stats.Dropped
 			}
@@ -218,7 +218,7 @@ func runMultiLevel(w io.Writer, o Options) error {
 	for _, target := range []int{0, 400, 800} {
 		sim := netsim.NewSim()
 		const nSend = 4
-		star := netsim.BuildStar(sim, nSend+1,
+		star := netsim.NewStar(sim, nSend+1,
 			netsim.LinkConfig{Bandwidth: netsim.Gbps(5), Delay: 5 * netsim.Microsecond},
 			netsim.QueueConfig{
 				CapacityBytes: 48 << 10, HighCapacityBytes: 1 << 20,
@@ -265,7 +265,7 @@ func runMultiLevel(w io.Writer, o Options) error {
 			}
 			meanNMSE += vecmath.NMSE(grads[i], out) / nSend
 		}
-		port := star.Switch.Port(netsim.NodeID(nSend))
+		port := star.Tier(netsim.TierEdge)[0].Port(netsim.NodeID(nSend))
 		t2.Add(target, port.Stats.Trimmed, port.Stats.Dropped, meanNMSE,
 			float64(fct.Max())/float64(netsim.Millisecond))
 	}

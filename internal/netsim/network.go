@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"fmt"
+	"sort"
 
 	"trimgrad/internal/obs"
 	"trimgrad/internal/wire"
@@ -81,8 +82,10 @@ type Node interface {
 	ID() NodeID
 	// Deliver is invoked by the simulator when a packet arrives.
 	Deliver(pkt *Packet)
-	// attach creates this node's outgoing port toward peer.
-	attach(peer Node, link LinkConfig)
+	// attach creates this node's outgoing port toward peer. It reports
+	// misuse (a host NIC already wired, a duplicate switch link) as an
+	// error so NewLink can surface it without panicking.
+	attach(peer Node, link LinkConfig) error
 	// portTo returns the outgoing port toward a directly-connected peer,
 	// or nil. Fault injection and link flaps address ports through it.
 	portTo(peer NodeID) *Port
@@ -92,6 +95,9 @@ type Node interface {
 type Network struct {
 	Sim   *Sim
 	nodes map[NodeID]Node
+	// ecmpSeed salts the flow hash of every switch created afterwards
+	// (see Switch.SetECMPSeed and WithECMPSeed).
+	ecmpSeed uint64
 }
 
 // Option configures a Network at construction.
@@ -106,6 +112,14 @@ func WithRegistry(r *obs.Registry) Option {
 	return func(n *Network) { n.Sim.setObs(r) }
 }
 
+// WithECMPSeed salts the deterministic ECMP flow hash of every switch the
+// network creates afterwards. Two networks built with different seeds
+// spread the same flow set differently; the same seed reproduces the
+// exact per-flow path choices, bit for bit.
+func WithECMPSeed(seed uint64) Option {
+	return func(n *Network) { n.ecmpSeed = seed }
+}
+
 // NewNetwork returns an empty network driven by sim.
 func NewNetwork(sim *Sim, opts ...Option) *Network {
 	n := &Network{Sim: sim, nodes: make(map[NodeID]Node)}
@@ -118,41 +132,86 @@ func NewNetwork(sim *Sim, opts ...Option) *Network {
 // Node returns the node with the given id, or nil.
 func (n *Network) Node(id NodeID) Node { return n.nodes[id] }
 
-func (n *Network) register(node Node) {
+func (n *Network) register(node Node) error {
 	if _, dup := n.nodes[node.ID()]; dup {
-		panic(fmt.Sprintf("netsim: duplicate node id %d", node.ID()))
+		return fmt.Errorf("netsim: duplicate node id %d", node.ID())
 	}
 	n.nodes[node.ID()] = node
+	return nil
 }
 
-// AddHost creates a host endpoint.
-func (n *Network) AddHost(id NodeID) *Host {
+// NewHost creates a host endpoint, rejecting duplicate ids.
+func (n *Network) NewHost(id NodeID) (*Host, error) {
 	h := &Host{id: id, sim: n.Sim}
-	n.register(h)
+	if err := n.register(h); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// AddHost creates a host endpoint, panicking on a duplicate id. It is the
+// test-convenience wrapper over NewHost, following the transport.NewStack
+// precedent.
+func (n *Network) AddHost(id NodeID) *Host {
+	h, err := n.NewHost(id)
+	if err != nil {
+		panic(err)
+	}
 	return h
 }
 
-// AddSwitch creates a switch whose ports use cfg.
-func (n *Network) AddSwitch(id NodeID, cfg QueueConfig) *Switch {
+// NewSwitch creates a switch whose ports use cfg, rejecting duplicate ids.
+func (n *Network) NewSwitch(id NodeID, cfg QueueConfig) (*Switch, error) {
 	sw := &Switch{
-		id:     id,
-		sim:    n.Sim,
-		cfg:    cfg.withDefaults(),
-		ports:  make(map[NodeID]*Port),
-		routes: make(map[NodeID]NodeID),
+		id:       id,
+		sim:      n.Sim,
+		cfg:      cfg.withDefaults(),
+		ports:    make(map[NodeID]*Port),
+		routes:   make(map[NodeID][]NodeID),
+		ecmpSeed: n.ecmpSeed,
 	}
-	n.register(sw)
+	if err := n.register(sw); err != nil {
+		return nil, err
+	}
+	return sw, nil
+}
+
+// AddSwitch creates a switch whose ports use cfg, panicking on a
+// duplicate id (the test-convenience wrapper over NewSwitch).
+func (n *Network) AddSwitch(id NodeID, cfg QueueConfig) *Switch {
+	sw, err := n.NewSwitch(id, cfg)
+	if err != nil {
+		panic(err)
+	}
 	return sw
 }
 
-// Connect wires a full-duplex link between two nodes.
-func (n *Network) Connect(a, b NodeID, link LinkConfig) {
+// NewLink wires a full-duplex link between two nodes, reporting unknown
+// endpoints, self-links, non-positive bandwidth, and double-wiring (a
+// host NIC already attached, a duplicate switch link) as errors.
+func (n *Network) NewLink(a, b NodeID, link LinkConfig) error {
 	na, nb := n.nodes[a], n.nodes[b]
 	if na == nil || nb == nil {
-		panic(fmt.Sprintf("netsim: connect unknown nodes %d-%d", a, b))
+		return fmt.Errorf("netsim: connect unknown nodes %d-%d", a, b)
 	}
-	na.attach(nb, link)
-	nb.attach(na, link)
+	if a == b {
+		return fmt.Errorf("netsim: self-link at node %d", a)
+	}
+	if link.Bandwidth <= 0 {
+		return fmt.Errorf("netsim: link %d-%d bandwidth must be positive", a, b)
+	}
+	if err := na.attach(nb, link); err != nil {
+		return err
+	}
+	return nb.attach(na, link)
+}
+
+// Connect wires a full-duplex link between two nodes, panicking on
+// misuse (the test-convenience wrapper over NewLink).
+func (n *Network) Connect(a, b NodeID, link LinkConfig) {
+	if err := n.NewLink(a, b, link); err != nil {
+		panic(err)
+	}
 }
 
 // PortStats counts what happened at one output port.
@@ -241,6 +300,10 @@ func newPort(sim *Sim, owner NodeID, peer Node, link LinkConfig, cfg QueueConfig
 
 // QueuedBytes returns the current total queue depth in bytes.
 func (p *Port) QueuedBytes() int { return p.bytes[PrioNormal] + p.bytes[PrioHigh] }
+
+// Link returns the link configuration this port transmits over (for
+// tests asserting derived bandwidths, e.g. oversubscribed uplinks).
+func (p *Port) Link() LinkConfig { return p.link }
 
 // Enqueue admits a packet to the port. A down port discards everything;
 // an attached FaultInjector may drop, clone, corrupt, or delay the packet
@@ -362,13 +425,18 @@ func (p *Port) onTxDone(pkt *Packet) {
 	p.transmitNext()
 }
 
-// Switch is an output-queued switch with static routes.
+// Switch is an output-queued switch with static route tables. A route
+// table entry holds one or more equal-cost next hops; multi-hop entries
+// are load-balanced by a deterministic seeded flow hash (ECMP), so a
+// flow's packets always take one path and same-seed runs pick identical
+// paths.
 type Switch struct {
-	id     NodeID
-	sim    *Sim
-	cfg    QueueConfig
-	ports  map[NodeID]*Port // keyed by next-hop node id
-	routes map[NodeID]NodeID
+	id       NodeID
+	sim      *Sim
+	cfg      QueueConfig
+	ports    map[NodeID]*Port // keyed by next-hop node id
+	routes   map[NodeID][]NodeID
+	ecmpSeed uint64
 	// metaCache holds metadata snooped for the aggregation merge path
 	// (nil until the first metadata packet passes an aggregating switch).
 	metaCache map[aggMetaKey]wire.MetaInfo
@@ -379,22 +447,89 @@ type Switch struct {
 // ID implements Node.
 func (s *Switch) ID() NodeID { return s.id }
 
-func (s *Switch) attach(peer Node, link LinkConfig) {
+func (s *Switch) attach(peer Node, link LinkConfig) error {
+	if _, dup := s.ports[peer.ID()]; dup {
+		return fmt.Errorf("netsim: duplicate link %d-%d", s.id, peer.ID())
+	}
 	p := newPort(s.sim, s.id, peer, link, s.cfg)
 	if s.cfg.AggregateTrimmable {
 		p.metaOf = s.metaInfo
 	}
 	s.ports[peer.ID()] = p
 	// A directly-connected peer routes to itself by default.
-	s.routes[peer.ID()] = peer.ID()
+	s.routes[peer.ID()] = []NodeID{peer.ID()}
+	return nil
 }
 
-// SetRoute directs traffic for dst through nextHop (which must be a
-// connected neighbour by the time packets flow).
-func (s *Switch) SetRoute(dst, nextHop NodeID) { s.routes[dst] = nextHop }
+// SetRoute directs traffic for dst through nextHop alone, replacing any
+// previously installed next-hop set (which must be a connected neighbour
+// by the time packets flow).
+func (s *Switch) SetRoute(dst, nextHop NodeID) { s.routes[dst] = []NodeID{nextHop} }
+
+// AddRoute appends nextHop to dst's equal-cost next-hop set (ignoring
+// exact duplicates). Insertion order is the hash bucket order, so
+// builders must add hops deterministically.
+func (s *Switch) AddRoute(dst, nextHop NodeID) {
+	for _, h := range s.routes[dst] {
+		if h == nextHop {
+			return
+		}
+	}
+	s.routes[dst] = append(s.routes[dst], nextHop)
+}
+
+// NextHops returns dst's equal-cost next-hop set (a copy, in hash bucket
+// order), or nil when dst is unroutable from this switch.
+func (s *Switch) NextHops(dst NodeID) []NodeID {
+	return append([]NodeID(nil), s.routes[dst]...)
+}
+
+// SetECMPSeed overrides the switch's flow-hash salt (normally inherited
+// from the network's WithECMPSeed at construction).
+func (s *Switch) SetECMPSeed(seed uint64) { s.ecmpSeed = seed }
+
+// nextHop resolves dst's forwarding decision for one flow: the ECMP hash
+// (see ecmpHash) indexes into the equal-cost set, so a flow's packets
+// always leave through the same port.
+func (s *Switch) nextHop(src, dst NodeID, flow uint64) (NodeID, bool) {
+	hops := s.routes[dst]
+	switch len(hops) {
+	case 0:
+		return 0, false
+	case 1:
+		return hops[0], true
+	}
+	h := ecmpHash(s.ecmpSeed, s.id, src, dst, flow)
+	return hops[h%uint64(len(hops))], true
+}
+
+// ecmpHash is the deterministic ECMP flow hash: the xrand.Seed mixer over
+// (seed, switch, src, dst, flow). Including the switch id decorrelates
+// the choice made at successive tiers (the classic hash-polarization fix:
+// without it, every core-facing switch would pick the same bucket index
+// for a given flow).
+func ecmpHash(seed uint64, sw, src, dst NodeID, flow uint64) uint64 {
+	return xrand.Seed(seed, uint64(sw), uint64(src), uint64(dst), flow)
+}
 
 // Port returns the output port toward a neighbour (for statistics).
 func (s *Switch) Port(neighbour NodeID) *Port { return s.ports[neighbour] }
+
+// Ports returns every output port in ascending neighbour-ID order (for
+// per-switch or per-tier statistics aggregation).
+func (s *Switch) Ports() []*Port {
+	ids := make([]NodeID, 0, len(s.ports))
+	//trimlint:allow determinism keys are sorted two lines down; map order never reaches the caller
+	for id := range s.ports {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	ports := make([]*Port, len(ids))
+	for i, id := range ids {
+		ports[i] = s.ports[id]
+	}
+	return ports
+}
 
 func (s *Switch) portTo(peer NodeID) *Port { return s.ports[peer] }
 
@@ -403,7 +538,7 @@ func (s *Switch) Deliver(pkt *Packet) {
 	if s.cfg.AggregateTrimmable {
 		s.snoopMeta(pkt)
 	}
-	next, ok := s.routes[pkt.Dst]
+	next, ok := s.nextHop(pkt.Src, pkt.Dst, pkt.FlowID)
 	if !ok {
 		s.RouteMisses++
 		s.sim.releasePacket(pkt)
@@ -440,11 +575,12 @@ type Host struct {
 // ID implements Node.
 func (h *Host) ID() NodeID { return h.id }
 
-func (h *Host) attach(peer Node, link LinkConfig) {
+func (h *Host) attach(peer Node, link LinkConfig) error {
 	if h.uplink != nil {
-		panic(fmt.Sprintf("netsim: host %d already attached", h.id))
+		return fmt.Errorf("netsim: host %d already attached", h.id)
 	}
 	h.uplink = newPort(h.sim, h.id, peer, link, hostQueue)
+	return nil
 }
 
 func (h *Host) portTo(peer NodeID) *Port {

@@ -1,105 +1,218 @@
 package netsim
 
+import "fmt"
+
 // Topology builders used across the evaluation. Host IDs start at 0;
 // switch IDs start at 1000 to keep them visually distinct in traces.
+//
+// Every builder returns the unified *Topology: the network, the hosts in
+// rank order, and the switches grouped into named tiers. Experiments
+// select topology × workload × collective × trim from one scenario
+// matrix instead of wiring each fabric by hand; tests reach the routing
+// layer through PathsBetween/PathFor.
 
 // SwitchIDBase is the first NodeID used for switches by the builders.
 const SwitchIDBase NodeID = 1000
 
-// Star is a single-switch topology: n hosts all connected to one switch —
-// the canonical incast scenario (§1's "collisions between different
-// traffic flows").
-type Star struct {
-	Net    *Network
-	Switch *Switch
-	Hosts  []*Host
+// Tier names used by the builders. Star/dumbbell/ring fabrics have a
+// single "edge" tier; the Clos fabrics add "agg"/"core" (fat tree) or
+// "leaf"/"spine".
+const (
+	TierEdge  = "edge"
+	TierAgg   = "agg"
+	TierCore  = "core"
+	TierLeaf  = "leaf"
+	TierSpine = "spine"
+)
+
+// Tier is one named layer of switches.
+type Tier struct {
+	Name     string
+	Switches []*Switch
 }
 
-// BuildStar creates a star of n hosts around one switch. Options (e.g.
-// WithRegistry) apply to the underlying Network before any port exists.
-func BuildStar(sim *Sim, n int, link LinkConfig, q QueueConfig, opts ...Option) *Star {
+// Topology is the unified result of every builder: the fabric plus the
+// structural handles tests and experiments need.
+type Topology struct {
+	// Kind names the builder ("star", "dumbbell", "ring", "fattree",
+	// "leafspine").
+	Kind  string
+	Net   *Network
+	Hosts []*Host
+	// Tiers lists switch layers bottom-up (edge before agg before core).
+	Tiers []Tier
+}
+
+// Tier returns the switches of the named tier (nil if absent).
+func (t *Topology) Tier(name string) []*Switch {
+	for _, tier := range t.Tiers {
+		if tier.Name == name {
+			return tier.Switches
+		}
+	}
+	return nil
+}
+
+// Switches returns every switch, tier by tier, bottom-up.
+func (t *Topology) Switches() []*Switch {
+	var all []*Switch
+	for _, tier := range t.Tiers {
+		all = append(all, tier.Switches...)
+	}
+	return all
+}
+
+// maxPathHops bounds path enumeration: no builder produces a host-to-host
+// path longer than a fat tree's 6 links, so anything deeper is a loop.
+const maxPathHops = 8
+
+// PathsBetween enumerates every distinct path packets from host src may
+// take to host dst, following all equal-cost branches of the route
+// tables. Each path lists node IDs from src to dst inclusive. The result
+// is nil when dst is unreachable (or either endpoint is not a host).
+func (t *Topology) PathsBetween(src, dst NodeID) [][]NodeID {
+	h, ok := t.Net.Node(src).(*Host)
+	if !ok || h.uplink == nil {
+		return nil
+	}
+	if src == dst {
+		return [][]NodeID{{src}}
+	}
+	var paths [][]NodeID
+	var walk func(at Node, path []NodeID)
+	walk = func(at Node, path []NodeID) {
+		if len(path) > maxPathHops {
+			return
+		}
+		path = append(path, at.ID())
+		if at.ID() == dst {
+			paths = append(paths, append([]NodeID(nil), path...))
+			return
+		}
+		sw, ok := at.(*Switch)
+		if !ok {
+			return
+		}
+		for _, next := range sw.routes[dst] {
+			if peer := t.Net.Node(next); peer != nil {
+				walk(peer, path)
+			}
+		}
+	}
+	walk(h.uplink.peer, []NodeID{src})
+	return paths
+}
+
+// PathFor returns the exact path a flow's packets take from host src to
+// host dst — the same per-switch ECMP hash decisions Deliver makes — or
+// nil when unroutable. Two same-seed topologies give identical answers.
+func (t *Topology) PathFor(src, dst NodeID, flow uint64) []NodeID {
+	h, ok := t.Net.Node(src).(*Host)
+	if !ok || h.uplink == nil {
+		return nil
+	}
+	path := []NodeID{src}
+	at := h.uplink.peer
+	for hops := 0; hops <= maxPathHops; hops++ {
+		path = append(path, at.ID())
+		if at.ID() == dst {
+			return path
+		}
+		sw, ok := at.(*Switch)
+		if !ok {
+			return nil
+		}
+		next, ok := sw.nextHop(src, dst, flow)
+		if !ok {
+			return nil
+		}
+		peer := t.Net.Node(next)
+		if peer == nil {
+			return nil
+		}
+		at = peer
+	}
+	return nil
+}
+
+// NewStar creates a star of n hosts around one switch — the canonical
+// incast scenario (§1's "collisions between different traffic flows").
+// Options (e.g. WithRegistry) apply to the underlying Network before any
+// port exists.
+func NewStar(sim *Sim, n int, link LinkConfig, q QueueConfig, opts ...Option) *Topology {
 	net := NewNetwork(sim, opts...)
 	sw := net.AddSwitch(SwitchIDBase, q)
-	s := &Star{Net: net, Switch: sw}
+	t := &Topology{
+		Kind: "star", Net: net,
+		Tiers: []Tier{{Name: TierEdge, Switches: []*Switch{sw}}},
+	}
 	for i := 0; i < n; i++ {
 		h := net.AddHost(NodeID(i))
 		net.Connect(h.ID(), sw.ID(), link)
-		s.Hosts = append(s.Hosts, h)
+		t.Hosts = append(t.Hosts, h)
 	}
-	return s
+	return t
 }
 
-// Dumbbell is the classic two-switch topology: left hosts — switch A —
-// bottleneck — switch B — right hosts. The inter-switch link is where
-// cross traffic and gradient traffic collide.
-type Dumbbell struct {
-	Net          *Network
-	Left, Right  *Switch
-	LeftHosts    []*Host
-	RightHosts   []*Host
-	BottleneckBW int64
-}
-
-// BuildDumbbell creates nLeft+nRight hosts around two switches joined by a
-// bottleneck link. Edge links use edge config; the inter-switch link uses
-// bottleneck config.
-func BuildDumbbell(sim *Sim, nLeft, nRight int, edge, bottleneck LinkConfig, q QueueConfig, opts ...Option) *Dumbbell {
+// NewDumbbell creates the classic two-switch topology: nLeft hosts —
+// switch A — bottleneck — switch B — nRight hosts. The inter-switch link
+// is where cross traffic and gradient traffic collide. Hosts are ordered
+// left block then right block; the edge tier is [left, right].
+func NewDumbbell(sim *Sim, nLeft, nRight int, edge, bottleneck LinkConfig, q QueueConfig, opts ...Option) *Topology {
 	net := NewNetwork(sim, opts...)
 	left := net.AddSwitch(SwitchIDBase, q)
 	right := net.AddSwitch(SwitchIDBase+1, q)
 	net.Connect(left.ID(), right.ID(), bottleneck)
-	d := &Dumbbell{
-		Net: net, Left: left, Right: right,
-		BottleneckBW: bottleneck.Bandwidth,
+	t := &Topology{
+		Kind: "dumbbell", Net: net,
+		Tiers: []Tier{{Name: TierEdge, Switches: []*Switch{left, right}}},
 	}
 	for i := 0; i < nLeft; i++ {
 		h := net.AddHost(NodeID(i))
 		net.Connect(h.ID(), left.ID(), edge)
-		d.LeftHosts = append(d.LeftHosts, h)
+		t.Hosts = append(t.Hosts, h)
 		// Right switch reaches left hosts via the left switch.
 		right.SetRoute(h.ID(), left.ID())
 	}
 	for i := 0; i < nRight; i++ {
 		h := net.AddHost(NodeID(nLeft + i))
 		net.Connect(h.ID(), right.ID(), edge)
-		d.RightHosts = append(d.RightHosts, h)
+		t.Hosts = append(t.Hosts, h)
 		left.SetRoute(h.ID(), right.ID())
 	}
-	return d
+	return t
 }
 
-// Ring connects n hosts and n switches in a ring: host i hangs off switch
-// i, and switch i links to switch (i+1) mod n. This is the natural
+// NewRing connects n hosts and n switches in a ring: host i hangs off
+// switch i, and switch i links to switch (i+1) mod n — the natural
 // topology for ring all-reduce experiments where each hop can congest
-// independently.
-type Ring struct {
-	Net      *Network
-	Hosts    []*Host
-	Switches []*Switch
-}
-
-// BuildRing creates the ring with edge links host↔switch and trunk links
-// between consecutive switches. Routing follows the shorter arc;
-// ties go clockwise.
-func BuildRing(sim *Sim, n int, edge, trunk LinkConfig, q QueueConfig, opts ...Option) *Ring {
+// independently. Edge links join host↔switch; trunk links join
+// consecutive switches. Routing follows the shorter arc; ties go
+// clockwise.
+func NewRing(sim *Sim, n int, edge, trunk LinkConfig, q QueueConfig, opts ...Option) *Topology {
 	if n < 2 {
 		panic("netsim: ring needs at least 2 nodes")
 	}
 	net := NewNetwork(sim, opts...)
-	r := &Ring{Net: net}
+	t := &Topology{Kind: "ring", Net: net}
+	switches := make([]*Switch, n)
 	for i := 0; i < n; i++ {
-		sw := net.AddSwitch(SwitchIDBase+NodeID(i), q)
-		r.Switches = append(r.Switches, sw)
-		h := net.AddHost(NodeID(i))
-		r.Hosts = append(r.Hosts, h)
+		switches[i] = net.AddSwitch(SwitchIDBase+NodeID(i), q)
+		t.Hosts = append(t.Hosts, net.AddHost(NodeID(i)))
 	}
+	t.Tiers = []Tier{{Name: TierEdge, Switches: switches}}
 	for i := 0; i < n; i++ {
-		net.Connect(r.Hosts[i].ID(), r.Switches[i].ID(), edge)
-		net.Connect(r.Switches[i].ID(), r.Switches[(i+1)%n].ID(), trunk)
+		net.Connect(t.Hosts[i].ID(), switches[i].ID(), edge)
+		// A 2-ring degenerates to a single trunk; adding the wrap-around
+		// link again would duplicate it.
+		if n == 2 && i == 1 {
+			continue
+		}
+		net.Connect(switches[i].ID(), switches[(i+1)%n].ID(), trunk)
 	}
 	// Shortest-arc static routes.
 	for i := 0; i < n; i++ {
-		sw := r.Switches[i]
+		sw := switches[i]
 		for dst := 0; dst < n; dst++ {
 			if dst == i {
 				continue
@@ -115,5 +228,78 @@ func BuildRing(sim *Sim, n int, edge, trunk LinkConfig, q QueueConfig, opts ...O
 			sw.SetRoute(NodeID(dst), next)
 		}
 	}
-	return r
+	return t
+}
+
+// Star is a single-switch topology.
+//
+// Deprecated: use NewStar, which returns the unified *Topology.
+type Star struct {
+	Net    *Network
+	Switch *Switch
+	Hosts  []*Host
+}
+
+// BuildStar creates a star of n hosts around one switch.
+//
+// Deprecated: use NewStar; this thin wrapper remains so existing callers
+// and tests keep compiling.
+func BuildStar(sim *Sim, n int, link LinkConfig, q QueueConfig, opts ...Option) *Star {
+	t := NewStar(sim, n, link, q, opts...)
+	return &Star{Net: t.Net, Switch: t.Tier(TierEdge)[0], Hosts: t.Hosts}
+}
+
+// Dumbbell is the classic two-switch topology.
+//
+// Deprecated: use NewDumbbell, which returns the unified *Topology.
+type Dumbbell struct {
+	Net          *Network
+	Left, Right  *Switch
+	LeftHosts    []*Host
+	RightHosts   []*Host
+	BottleneckBW int64
+}
+
+// BuildDumbbell creates nLeft+nRight hosts around two switches joined by
+// a bottleneck link.
+//
+// Deprecated: use NewDumbbell; this thin wrapper remains so existing
+// callers and tests keep compiling.
+func BuildDumbbell(sim *Sim, nLeft, nRight int, edge, bottleneck LinkConfig, q QueueConfig, opts ...Option) *Dumbbell {
+	t := NewDumbbell(sim, nLeft, nRight, edge, bottleneck, q, opts...)
+	sw := t.Tier(TierEdge)
+	return &Dumbbell{
+		Net: t.Net, Left: sw[0], Right: sw[1],
+		LeftHosts: t.Hosts[:nLeft], RightHosts: t.Hosts[nLeft:],
+		BottleneckBW: bottleneck.Bandwidth,
+	}
+}
+
+// Ring connects n hosts and n switches in a ring.
+//
+// Deprecated: use NewRing, which returns the unified *Topology.
+type Ring struct {
+	Net      *Network
+	Hosts    []*Host
+	Switches []*Switch
+}
+
+// BuildRing creates the ring with edge links host↔switch and trunk links
+// between consecutive switches.
+//
+// Deprecated: use NewRing; this thin wrapper remains so existing callers
+// and tests keep compiling.
+func BuildRing(sim *Sim, n int, edge, trunk LinkConfig, q QueueConfig, opts ...Option) *Ring {
+	t := NewRing(sim, n, edge, trunk, q, opts...)
+	return &Ring{Net: t.Net, Hosts: t.Hosts, Switches: t.Tier(TierEdge)}
+}
+
+// ParseTopology resolves a CLI -topo flag value to a builder kind,
+// rejecting unknown names with the accepted set.
+func ParseTopology(s string) (string, error) {
+	switch s {
+	case "star", "dumbbell", "ring", "fattree", "leafspine":
+		return s, nil
+	}
+	return "", fmt.Errorf("netsim: unknown topology %q (want star|dumbbell|ring|fattree|leafspine)", s)
 }

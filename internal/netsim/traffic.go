@@ -21,6 +21,10 @@ type CrossTraffic struct {
 	Rate float64
 	// Prio of the generated packets.
 	Prio Priority
+	// FlowID stamps every generated packet; ECMP fabrics hash on it, so
+	// distinct ids let background flows spread across paths. Defaults to
+	// MaxUint64, the legacy shared cross-traffic id.
+	FlowID uint64
 
 	rng     *xrand.Rand
 	stopped bool
@@ -31,7 +35,8 @@ type CrossTraffic struct {
 func NewCrossTraffic(h *Host, dst NodeID, pktSize int, rate float64, seed uint64) *CrossTraffic {
 	return &CrossTraffic{
 		Host: h, Dst: dst, PacketSize: pktSize, Rate: rate,
-		rng: xrand.New(seed),
+		FlowID: math.MaxUint64,
+		rng:    xrand.New(seed),
 	}
 }
 
@@ -57,7 +62,7 @@ func (c *CrossTraffic) scheduleNext() {
 		pkt.Size = c.PacketSize
 		pkt.Prio = c.Prio
 		pkt.Kind = "cross"
-		pkt.FlowID = math.MaxUint64
+		pkt.FlowID = c.FlowID
 		c.Host.Send(pkt)
 		c.Sent++
 		c.scheduleNext()

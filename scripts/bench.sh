@@ -4,8 +4,9 @@
 # Runs the hot-path benchmark suite (the BenchmarkHot* family in
 # bench_test.go: encode+decode round, matmul kernels, ml epoch — each
 # with serial and parallel variants) plus the per-figure micro
-# benchmarks, the fabric fast-path suite, and the collective-zoo
-# all-reduce suite, and converts the output into BENCH_<date>.json via
+# benchmarks, the fabric fast-path suite (including the k=4 fat-tree
+# incast), and the collective-zoo all-reduce suite, and converts the
+# output into BENCH_<date>.json via
 # tools/benchjson. Each checked-in BENCH file is one point on the perf
 # trajectory; the "speedups" section pairs every */serial with its
 # */parallel sibling on the hardware the script ran on.

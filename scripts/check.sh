@@ -8,7 +8,8 @@
 #   scripts/check.sh -chaos   fault-injection pass only: race-enabled chaos,
 #                             fault, and duplicate-delivery regression tests
 #   scripts/check.sh -bench   perf smoke only: the BenchmarkHot* suite and
-#                             the BenchmarkFabric* fast-path suite run
+#                             the BenchmarkFabric* fast-path suite (wheel,
+#                             pooled hops, and the k=4 fat-tree incast) run
 #                             clean under -race with live obs registries,
 #                             and the obs overhead guard still holds
 #   scripts/check.sh -lint    static pass only: gofmt + go vet + trimlint
