@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync/atomic"
 
 	"trimgrad/internal/core"
 	"trimgrad/internal/netsim"
@@ -60,7 +62,7 @@ func main() {
 	flag.StringVar(&topo, "topo", "star", "topology: star|dumbbell|ring|fattree|leafspine")
 	flag.StringVar(&topo, "topology", "star", "alias for -topo")
 	var (
-		workload = flag.String("workload", "incast", "gradient traffic pattern: incast|alltoall|permutation")
+		workload = flag.String("workload", "incast", "gradient traffic pattern: incast[:fan]|alltoall|permutation")
 		senders  = flag.Int("senders", 8, "gradient senders (star/dumbbell/ring host count minus the receiver)")
 		k        = flag.Int("k", 4, "fat-tree arity (fattree topology; k³/4 hosts)")
 		leaves   = flag.Int("leaves", 4, "leaf switches (leafspine topology)")
@@ -76,6 +78,8 @@ func main() {
 		mice     = flag.Float64("mice", 0, "background mouse-flow rate (packets/s per host; 200 B packets)")
 		elephant = flag.Float64("elephants", 0, "background elephant-flow rate (packets/s per fourth host; 1500 B packets)")
 		seed     = flag.Uint64("seed", 1, "seed")
+		shards   = flag.Int("shards", 0, "simulator shards (parallel partitions; 0 = min(GOMAXPROCS, rack switches)); results are bit-identical at every count")
+		verbose  = flag.Bool("v", false, "print the shard partition map (shard → switches/hosts)")
 		metrics  = flag.String("metrics", "", "export per-port/transport telemetry and flow spans as JSONL to this file")
 	)
 	flag.Parse()
@@ -110,6 +114,28 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	// Partition the fabric across shards. 0 sizes to the machine, capped at
+	// the rack count; an explicit oversized count is rejected by
+	// ShardTopology with the rack arithmetic spelled out — never clamped.
+	nRacks := len(t.Tiers[0].Switches)
+	nShards := *shards
+	if nShards == 0 {
+		if nShards = runtime.GOMAXPROCS(0); nShards > nRacks {
+			nShards = nRacks
+		}
+	}
+	eng, err := netsim.ShardTopology(t, nShards)
+	if err != nil {
+		fail(err)
+	}
+	defer eng.Close()
+	if *verbose {
+		fmt.Printf("shards=%d lookahead=%v\n", eng.Shards(), eng.Window())
+		for _, a := range eng.Partition() {
+			fmt.Printf("shard %d: switches=%v hosts=%v\n", a.Shard, a.Switches, a.Hosts)
+		}
+	}
+
 	nHosts := len(t.Hosts)
 	w, err := netsim.ParseWorkload(*workload, nHosts, *seed)
 	if err != nil {
@@ -138,7 +164,8 @@ func main() {
 
 	fct := netsim.NewFCTRecorder()
 	fct.Obs = reg
-	completed := 0
+	// Completions fire on shard goroutines; the counter must be atomic.
+	var completed atomic.Int64
 	for i, f := range flows {
 		src, dst := stackFor(f.Src), stackFor(f.Dst)
 		_ = dst // created so the destination can reassemble
@@ -166,7 +193,7 @@ func main() {
 		}
 		id := uint64(i + 1)
 		fct.FlowStarted(id, 0)
-		onDone := func(at netsim.Time) { completed++; fct.FlowFinished(id, at) }
+		onDone := func(at netsim.Time) { completed.Add(1); fct.FlowFinished(id, at) }
 		dstID := t.Hosts[f.Dst].ID()
 		if qcfg.Mode == netsim.TrimOverflow {
 			src.SendTrimmable(dstID, msgID, msg.Meta, msg.Data, onDone, nil)
@@ -184,8 +211,8 @@ func main() {
 	// background and cross traffic never drain the event queue, so a fixed
 	// horizon would simulate long stretches of pure background.
 	const slice = 10 * netsim.Millisecond
-	for now := netsim.Time(0); completed < len(flows) && now < 60*netsim.Second; now += slice {
-		sim.RunUntil(now + slice)
+	for now := netsim.Time(0); completed.Load() < int64(len(flows)) && now < 60*netsim.Second; now += slice {
+		eng.RunUntil(now + slice)
 	}
 	for _, ct := range bg {
 		ct.Stop()
@@ -202,7 +229,7 @@ func main() {
 
 	fmt.Printf("topology=%s workload=%s mode=%s agg=%v hosts=%d flows=%d dim=%d buffer=%dB\n",
 		t.Kind, w.Name, *mode, *agg, nHosts, len(flows), *dim, *buffer)
-	fmt.Printf("completed           %d/%d\n", completed, len(flows))
+	fmt.Printf("completed           %d/%d\n", completed.Load(), len(flows))
 	fmt.Printf("FCT p50 / p99 / max %v / %v / %v\n",
 		fct.Percentile(0.5), fct.Percentile(0.99), fct.Max())
 	fmt.Printf("retransmits         %d\n", retrans)
@@ -233,7 +260,9 @@ func main() {
 			fail(err)
 		}
 		defer f.Close()
-		if err := obs.WriteJSONL(f, reg.Snapshot()); err != nil {
+		// The engine merges the pre-partition registry with every shard's
+		// into one canonical snapshot — byte-identical at any -shards value.
+		if err := obs.WriteJSONL(f, eng.Snapshot()); err != nil {
 			fail(err)
 		}
 	}

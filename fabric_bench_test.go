@@ -8,6 +8,7 @@
 package trimgrad
 
 import (
+	"fmt"
 	"testing"
 
 	"trimgrad/internal/netsim"
@@ -113,6 +114,66 @@ func BenchmarkFabricFatTree(b *testing.B) {
 		send()
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*hops), "ns/hop")
+}
+
+// BenchmarkShardFabric measures the partitioned engine on the k=4 fat
+// tree under an all-to-all burst — every host fires at rotating remote
+// peers, so most packets cross rack (and therefore shard) boundaries.
+// The 1/2/4-shard runs produce bit-identical simulations (pinned by
+// TestShardTrafficDifferential); this benchmark records what that
+// parallelism buys in wall clock. On a single-core runner the ratio is
+// ≈1; the BENCH trajectory on multi-core boxes carries the speedup
+// claim.
+func BenchmarkShardFabric(b *testing.B) {
+	const pktsPerHost = 16
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			sim := netsim.NewSim()
+			topo, err := netsim.NewFatTree(sim, netsim.FatTreeConfig{
+				K:        4,
+				HostLink: netsim.LinkConfig{Bandwidth: netsim.Gbps(10), Delay: netsim.Microsecond},
+				Queue:    netsim.QueueConfig{CapacityBytes: 1 << 20},
+				ECMPSeed: 7,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng, err := netsim.ShardTopology(topo, shards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			for _, h := range topo.Hosts {
+				h.Handler = func(*netsim.Packet) {}
+			}
+			n := len(topo.Hosts)
+			send := func() {
+				for j := 0; j < pktsPerHost; j++ {
+					for s := 0; s < n; s++ {
+						// Rotate destinations through remote pods so the
+						// traffic exercises the cross-shard mailboxes.
+						dst := (s + 4 + j) % n
+						// Pooled packets come from the sending host's own
+						// shard so recycling stays shard-local.
+						pkt := topo.Hosts[s].Sim().NewPacket()
+						pkt.Dst = topo.Hosts[dst].ID()
+						pkt.Size = 1500
+						pkt.FlowID = uint64(s*n + dst + 1)
+						topo.Hosts[s].Send(pkt)
+					}
+				}
+				eng.Run()
+			}
+			send() // warm pools on every shard
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				send()
+			}
+			hops := b.N * pktsPerHost * n
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(hops), "ns/pkt")
+		})
+	}
 }
 
 // BenchmarkFabricWheel measures raw scheduler throughput: events spread

@@ -116,6 +116,7 @@ func TestFixtures(t *testing.T) {
 		{"poolownership", "testdata/poolownership/clean"},
 		{"goroutinebound", "testdata/goroutinebound/spawn"},
 		{"goroutinebound", "testdata/goroutinebound/par"},
+		{"goroutinebound", "testdata/goroutinebound/shardteam"},
 		{"obshotpath", "testdata/obshotpath/hot"},
 		{"obshotpath", "testdata/obshotpath/cold"},
 	}

@@ -1,0 +1,63 @@
+// Package shardteam is a goroutinebound fixture for the shard-worker
+// pattern: a fixed crew of persistent workers parked on per-worker task
+// channels — the shape internal/par.Team gives the sharded netsim
+// engine. The constructor's spawns are accepted because every worker
+// ranges over its own channel (closing the channel is the join), the
+// barrier is a Wait, and a detached forever-worker with neither is
+// flagged.
+package shardteam
+
+import "sync"
+
+type team struct {
+	n     int
+	tasks []chan func(int)
+	wg    sync.WaitGroup
+}
+
+// newTeam spawns n-1 pinned workers; each ranges over its own task
+// channel, so close(ch) provably ends the goroutine.
+func newTeam(n int) *team {
+	t := &team{n: n, tasks: make([]chan func(int), n-1)}
+	for i := range t.tasks {
+		ch := make(chan func(int))
+		t.tasks[i] = ch
+		w := i + 1
+		go func() {
+			for f := range ch {
+				f(w)
+				t.wg.Done()
+			}
+		}()
+	}
+	return t
+}
+
+// run is the window barrier: every worker executes f, the caller waits
+// for all of them.
+func (t *team) run(f func(int)) {
+	t.wg.Add(t.n - 1)
+	for _, ch := range t.tasks {
+		ch <- f
+	}
+	f(0)
+	t.wg.Wait()
+}
+
+// stop joins the workers by closing their channels.
+func (t *team) stop() {
+	for _, ch := range t.tasks {
+		close(ch)
+	}
+	t.tasks = nil
+}
+
+// detached is the anti-pattern the checker exists for: a persistent
+// worker with no channel to drain and no Wait — nothing ever joins it.
+func detached(f func()) {
+	go func() { // want "goroutine spawned with no join"
+		for {
+			f()
+		}
+	}()
+}

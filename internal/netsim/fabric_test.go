@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"trimgrad/internal/obs"
+	"trimgrad/internal/xrand"
 )
 
 func fatTree(t *testing.T, k int, q QueueConfig, opts ...Option) *Topology {
@@ -208,6 +209,83 @@ func TestFatTreeFlowFIFO(t *testing.T) {
 	for i, seq := range got {
 		if seq != uint64(i) {
 			t.Fatalf("reordered: position %d carries seq %d", i, seq)
+		}
+	}
+}
+
+// TestPathForMatchesDeliveredPath samples random (src, dst, flow)
+// triples on the k=4 fat tree and checks that the path PathFor predicts
+// is the path the packet actually takes. The delivered path is
+// reconstructed from per-port transmit counters: one packet sent alone
+// must bump exactly the ports along the predicted path, each by one, and
+// nothing else anywhere in the fabric.
+func TestPathForMatchesDeliveredPath(t *testing.T) {
+	sim := NewSim()
+	topo, err := NewFatTree(sim, FatTreeConfig{
+		K: 4, HostLink: fastLink(), Queue: QueueConfig{CapacityBytes: 1 << 20}, ECMPSeed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type edge struct{ from, to NodeID }
+	// txCount snapshots every directed link's transmit counter — host
+	// uplinks plus all switch ports (downlinks included).
+	txCount := func() map[edge]int {
+		m := map[edge]int{}
+		for _, h := range topo.Hosts {
+			p := h.Uplink()
+			m[edge{p.owner, p.peer.ID()}] = p.Stats.Transmitted
+		}
+		for _, sw := range topo.Switches() {
+			for _, p := range sw.Ports() {
+				m[edge{p.owner, p.peer.ID()}] = p.Stats.Transmitted
+			}
+		}
+		return m
+	}
+	rng := xrand.New(1311)
+	n := len(topo.Hosts)
+	for trial := 0; trial < 40; trial++ {
+		src := rng.Intn(n)
+		dst := rng.Intn(n - 1)
+		if dst >= src {
+			dst++
+		}
+		flow := rng.Uint64()
+		srcID, dstID := topo.Hosts[src].ID(), topo.Hosts[dst].ID()
+		want := topo.PathFor(srcID, dstID, flow)
+		if want == nil {
+			t.Fatalf("trial %d: PathFor(%d, %d, %#x) unroutable", trial, srcID, dstID, flow)
+		}
+		before := txCount()
+		delivered := 0
+		topo.Hosts[dst].Handler = func(*Packet) { delivered++ }
+		pkt := sim.NewPacket()
+		pkt.Dst = dstID
+		pkt.Size = 1500
+		pkt.FlowID = flow
+		topo.Hosts[src].Send(pkt)
+		sim.Run()
+		topo.Hosts[dst].Handler = nil
+		if delivered != 1 {
+			t.Fatalf("trial %d: delivered %d packets, want 1", trial, delivered)
+		}
+		after := txCount()
+		total := 0
+		for e, c := range after {
+			total += c - before[e]
+			_ = e
+		}
+		if total != len(want)-1 {
+			t.Fatalf("trial %d: %d ports transmitted, want the %d hops of %v",
+				trial, total, len(want)-1, want)
+		}
+		for i := 0; i+1 < len(want); i++ {
+			e := edge{want[i], want[i+1]}
+			if after[e]-before[e] != 1 {
+				t.Fatalf("trial %d: hop %d→%d transmitted %d times, want 1 (path %v)",
+					trial, want[i], want[i+1], after[e]-before[e], want)
+			}
 		}
 	}
 }

@@ -197,17 +197,17 @@ func (f *FaultInjector) corrupt(pkt *Packet) *Packet {
 // fail loudly here (like portBetween) rather than downstream.
 func (p *Port) SetFaults(cfg FaultConfig, streamID ...uint64) *FaultInjector {
 	if p.faults != nil && p.faults.cfg.aliasing() {
-		p.sim.aliasFaults--
+		p.sim.aliasFaultAdd(-1)
 	}
 	if !cfg.enabled() {
 		p.faults = nil
 		return nil
 	}
 	if cfg.aliasing() {
-		if p.sim.payloadRecyclers > 0 {
+		if p.sim.recyclers() > 0 {
 			panic(fmt.Sprintf("netsim: fault config with DuplicateRate/ReorderRate on port %d->%d while a transport recycles payloads through an arena; drop WithArena or the aliasing faults (see ROADMAP: generation-stamped buffers)", p.owner, p.peer.ID()))
 		}
-		p.sim.aliasFaults++
+		p.sim.aliasFaultAdd(1)
 	}
 	p.faults = newFaultInjector(p.sim, cfg, streamID...)
 	p.faults.obs = newFaultObs(p.sim.obs, p.owner, p.peer.ID())
@@ -254,8 +254,14 @@ func (n *Network) SetLinkDown(a, b NodeID, down bool) {
 }
 
 // FlapLink schedules the a-b link to go down at `at` and come back up
-// `duration` later.
+// `duration` later. Each direction's transitions are scheduled on the
+// simulator that owns its port: on a sharded fabric the two ends of a
+// cross-shard link live on different timer wheels, and flipping a foreign
+// port from another shard's event would race.
 func (n *Network) FlapLink(a, b NodeID, at, duration Time) {
-	n.Sim.At(at, func() { n.SetLinkDown(a, b, true) })
-	n.Sim.At(at+duration, func() { n.SetLinkDown(a, b, false) })
+	for _, p := range []*Port{n.portBetween(a, b), n.portBetween(b, a)} {
+		p := p
+		p.sim.At(at, func() { p.SetDown(true) })
+		p.sim.At(at+duration, func() { p.SetDown(false) })
+	}
 }

@@ -267,9 +267,14 @@ func newPortObs(r *obs.Registry, owner, peer NodeID) portObs {
 // Port is one output port: a two-priority byte-bounded queue feeding a
 // transmitter with finite bandwidth and propagation delay.
 type Port struct {
-	sim     *Sim
-	owner   NodeID
-	peer    Node
+	sim   *Sim
+	owner NodeID
+	peer  Node
+	// peerSim is the simulator driving the peer node — equal to sim except
+	// across a shard boundary, where onTxDone turns the propagation event
+	// into a mailbox hand-off instead of a local schedule. Precomputed at
+	// partition time so the per-packet check is one pointer compare.
+	peerSim *Sim
 	link    LinkConfig
 	cfg     QueueConfig
 	q       [2][]*Packet // index by Priority
@@ -290,7 +295,7 @@ func newPort(sim *Sim, owner NodeID, peer Node, link LinkConfig, cfg QueueConfig
 	if link.Bandwidth <= 0 {
 		panic("netsim: link bandwidth must be positive")
 	}
-	p := &Port{sim: sim, owner: owner, peer: peer, link: link, cfg: cfg.withDefaults()}
+	p := &Port{sim: sim, owner: owner, peer: peer, peerSim: sim, link: link, cfg: cfg.withDefaults()}
 	if p.cfg.LossRate > 0 {
 		p.lossRNG = xrand.New(xrand.Seed(p.cfg.LossSeed, uint64(peer.ID())))
 	}
@@ -421,7 +426,11 @@ func (p *Port) transmitNext() {
 func (p *Port) onTxDone(pkt *Packet) {
 	p.Stats.Transmitted++
 	p.obs.transmitted.Inc()
-	p.sim.afterDeliver(p.link.Delay, p.peer, pkt)
+	if p.peerSim != p.sim {
+		p.sim.handOff(p, pkt)
+	} else {
+		p.sim.afterDeliver(p.link.Delay, p.peer, pkt)
+	}
 	p.transmitNext()
 }
 
@@ -615,6 +624,18 @@ func (h *Host) Send(pkt *Packet) {
 		return
 	}
 	pkt.Src = h.id
+	// On a sharded simulator the flight bytes must not alias the sender's
+	// buffers: the transport retains the payload for retransmission, and
+	// in-flight writes (a switch setting the trimmed flag, the receiver's
+	// checksum normalize-and-restore) on another shard would race with a
+	// retransmit read here. Copying at injection gives the payload a single
+	// owner chain — exactly one shard touches it at any virtual time, with
+	// hand-off barriers ordering the transfers. Done at every shard count
+	// (1 included) so the bit-identity contract compares like with like;
+	// the legacy unsharded path keeps its zero-copy aliasing.
+	if h.sim.eng != nil && pkt.Payload != nil {
+		pkt.Payload = append([]byte(nil), pkt.Payload...)
+	}
 	h.uplink.Enqueue(pkt)
 }
 

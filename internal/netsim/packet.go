@@ -46,6 +46,11 @@ type Packet struct {
 	// drop); plain &Packet{} literals stay unpooled and are left to the
 	// GC, so callers that retain packets keep their aliasing freedom.
 	pooled bool
+	// home is the Sim whose pool allocated this record. On a sharded
+	// simulator a packet released on a foreign shard is returned to its
+	// home pool at the next barrier (see Sim.releasePacket), keeping the
+	// per-shard pools in steady state under one-directional traffic.
+	home *Sim
 }
 
 // Clone returns a shallow copy with its own Payload slice. The clone is

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"trimgrad/internal/obs"
+	"trimgrad/internal/xrand"
 )
 
 // Time is simulated time in nanoseconds since simulation start.
@@ -184,6 +185,21 @@ type Sim struct {
 	freeEv  *event
 	freePkt []*Packet
 
+	// Sharded-mode fields (see shard.go and DESIGN.md §15). eng is non-nil
+	// when this Sim is one shard of an Engine; keyed switches event
+	// tie-breaking from the arrival-order seq counter to causal-path hash
+	// keys, which are a pure function of the event's causal ancestry and
+	// therefore identical at every shard count.
+	eng         *Engine
+	shardIdx    int
+	keyed       bool
+	dispatching bool        // inside dispatch: ctxKey/ctxN are the live context
+	ctxKey      uint64      // key of the event being dispatched
+	ctxN        uint64      // children scheduled by the current dispatch so far
+	active      bool        // this shard's goroutine is running a parallel phase
+	out         [][]xmsg    // per-destination-shard hand-off mailboxes
+	retPkt      [][]*Packet // per-home-shard pooled-packet returns
+
 	// controlMerger, when set, lets the transport layer re-describe a
 	// merged packet's control header during in-network aggregation (see
 	// SetControlMerger). Nil means only control-free packets may merge.
@@ -213,7 +229,16 @@ func NewSim() *Sim { return &Sim{} }
 // re-used while a duplicate or delayed packet still references it would
 // corrupt the replay silently. The restriction lifts once
 // generation-stamped arena buffers land (ROADMAP).
+//
+// On a sharded simulator it always fails: an arena buffer freed at the
+// sender's shard can be logically concurrent with a switch on another
+// shard still parsing it inside the same synchronization window, so the
+// ownership rule that makes recycling safe sequentially does not survive
+// the hand-off (DESIGN.md §15).
 func (s *Sim) MarkPayloadRecycling() error {
+	if s.eng != nil {
+		return fmt.Errorf("netsim: arena payload recycling is not supported on a sharded simulator; build transports without WithArena or run with 1 shard unsharded (see DESIGN.md §15)")
+	}
 	if s.aliasFaults > 0 {
 		return fmt.Errorf("netsim: arena payload recycling is unsafe with %d fault injector(s) enabling DuplicateRate/ReorderRate; drop WithArena or the aliasing faults", s.aliasFaults)
 	}
@@ -223,7 +248,31 @@ func (s *Sim) MarkPayloadRecycling() error {
 
 // HasAliasingFaults reports whether any attached fault injector can alias
 // payloads (duplication or reordering enabled).
-func (s *Sim) HasAliasingFaults() bool { return s.aliasFaults > 0 }
+func (s *Sim) HasAliasingFaults() bool {
+	if s.eng != nil {
+		return s.eng.aliasFaults > 0
+	}
+	return s.aliasFaults > 0
+}
+
+// aliasFaultAdd adjusts the aliasing-fault count at the right scope: the
+// engine when sharded (a transport on shard A must still see an aliasing
+// injector attached on shard B), the sim otherwise.
+func (s *Sim) aliasFaultAdd(d int) {
+	if s.eng != nil {
+		s.eng.aliasFaults += d
+		return
+	}
+	s.aliasFaults += d
+}
+
+// recyclers returns the payload-recycler count at the right scope.
+func (s *Sim) recyclers() int {
+	if s.eng != nil {
+		return s.eng.payloadRecyclers
+	}
+	return s.payloadRecyclers
+}
 
 // SetControlMerger registers the transport hook the aggregation merge path
 // consults before folding two packets (QueueConfig.AggregateTrimmable):
@@ -234,6 +283,14 @@ func (s *Sim) HasAliasingFaults() bool { return s.aliasFaults > 0 }
 // double-count). Every transport stack registers the same package-level
 // function, so repeated registration is idempotent.
 func (s *Sim) SetControlMerger(fn func(into, from *Packet, merged []byte) (any, bool)) {
+	if s.eng != nil {
+		// Transports register on their host's shard, but the aggregating
+		// switch consulting the hook may live on any shard.
+		for _, sh := range s.eng.shards {
+			sh.sim.controlMerger = fn
+		}
+		return
+	}
 	s.controlMerger = fn
 }
 
@@ -277,15 +334,49 @@ func (s *Sim) releaseEvent(ev *event) {
 	s.freeEv = ev
 }
 
-// schedule assigns (at, seq) and places ev in the right level.
+// rootKeySalt seeds the causal keys of events scheduled outside any
+// dispatch (setup code, slicing loops between RunUntil calls). The root
+// child counter lives on the Engine, shared by every shard: setup runs
+// single-threaded, and a shared counter means "the i-th root event of the
+// program" gets the same key no matter which shard it lands on — the
+// anchor of the cross-shard-count identity argument.
+const rootKeySalt = 0x5ead0e5e
+
+// nextKey derives the causal-path hash key for the next event this
+// context schedules: xrand.Seed(parent key, child index). Two runs at
+// different shard counts execute the same causal tree, so every event
+// gets the same key — which is what lets (at, key) ordering reproduce
+// the single-shard firing order exactly.
+func (s *Sim) nextKey() uint64 {
+	if s.dispatching {
+		k := xrand.Seed(s.ctxKey, s.ctxN)
+		s.ctxN++
+		return k
+	}
+	k := xrand.Seed(rootKeySalt, s.eng.rootN)
+	s.eng.rootN++
+	return k
+}
+
+// schedule assigns (at, seq) and places ev in the right level. In keyed
+// (sharded) mode the tie-break key is the causal-path hash instead of the
+// arrival counter; the comparator evLess is unchanged either way.
 func (s *Sim) schedule(t Time, ev *event) {
 	if t < s.now {
 		s.releaseEvent(ev)
 		panic(fmt.Sprintf("netsim: scheduling at %v before now %v", t, s.now))
 	}
-	s.seq++
+	if s.keyed {
+		if s.eng.parallel && !s.active {
+			s.releaseEvent(ev)
+			panic("netsim: event scheduled on a foreign shard during a parallel window; cross-shard effects must go through packet hand-offs")
+		}
+		ev.seq = s.nextKey()
+	} else {
+		s.seq++
+		ev.seq = s.seq
+	}
 	ev.at = t
-	ev.seq = s.seq
 	s.place(ev)
 }
 
@@ -423,6 +514,18 @@ func (s *Sim) Run() { s.RunUntil(maxTime) }
 // RunUntil executes events with timestamps ≤ deadline, advancing the clock
 // to each event's time. The clock finishes at min(deadline, last event).
 func (s *Sim) RunUntil(deadline Time) {
+	s.runTo(deadline)
+	if s.now < deadline && deadline < maxTime {
+		s.now = deadline
+	}
+}
+
+// runTo is RunUntil without the final clock advance: events ≤ deadline
+// fire, but the clock stays at the last fired event. The sharded engine
+// runs windows through it so a window bound — an artifact of the shard
+// count — never shows up in any clock, keeping Now() trajectories
+// identical at every shard count.
+func (s *Sim) runTo(deadline Time) {
 	s.stopped = false
 	for s.npend > 0 && !s.stopped {
 		if len(s.cur) == 0 {
@@ -430,23 +533,69 @@ func (s *Sim) RunUntil(deadline Time) {
 		}
 		ev := s.cur[0]
 		if ev.at > deadline {
-			s.now = deadline
 			return
 		}
 		s.cur.pop()
 		s.npend--
 		s.now = ev.at
 		s.Processed++
-		s.dispatch(ev)
+		if s.keyed {
+			// The event's key becomes the causal context for everything it
+			// schedules; restore the root context on the way out.
+			s.ctxKey, s.ctxN, s.dispatching = ev.seq, 0, true
+			s.dispatch(ev)
+			s.dispatching = false
+		} else {
+			s.dispatch(ev)
+		}
 		s.releaseEvent(ev)
-	}
-	if s.now < deadline && deadline < maxTime {
-		s.now = deadline
 	}
 }
 
 // Pending returns the number of queued events.
 func (s *Sim) Pending() int { return s.npend }
+
+// nextAt peeks at the earliest pending event's timestamp without firing
+// it. It may advance curTick to surface the wheel minimum into cur, which
+// never changes firing semantics — only where the event is resident.
+func (s *Sim) nextAt() (Time, bool) {
+	if s.npend == 0 {
+		return 0, false
+	}
+	if len(s.cur) == 0 {
+		s.advance()
+	}
+	return s.cur[0].at, true
+}
+
+// handOff records a cross-shard propagation arrival in the outbox toward
+// the peer's shard. The key is consumed from the same causal stream a
+// local afterDeliver would use, so shard layout never perturbs any
+// sibling event's key. The destination places the message at the next
+// synchronization barrier; conservative lookahead (window ≤ every
+// cross-shard link delay) guarantees it lands strictly beyond the
+// destination's current window, so no rollback is ever needed.
+func (s *Sim) handOff(p *Port, pkt *Packet) {
+	dst := p.peerSim
+	//trimlint:owner transfer the outbox owns the packet until the barrier places it on the destination shard
+	s.out[dst.shardIdx] = append(s.out[dst.shardIdx], xmsg{
+		at: s.now + p.link.Delay, key: s.nextKey(), node: p.peer, pkt: pkt,
+	})
+}
+
+// placeRemote installs one handed-off arrival, carrying the key assigned
+// at the sending shard. Only evDeliver crosses shards: serialization,
+// fault re-admission, and protocol timers are all port- or host-local.
+func (s *Sim) placeRemote(m xmsg) {
+	ev := s.allocEvent()
+	ev.kind = evDeliver
+	ev.node = m.node
+	//trimlint:owner transfer ownership continues from the outbox to the destination shard's pooled event
+	ev.pkt = m.pkt
+	ev.at = m.at
+	ev.seq = m.key
+	s.place(ev)
+}
 
 // NewPacket returns a zeroed packet from the simulator's pool. Pooled
 // packets are recycled by the fabric at their terminal point — delivery
@@ -463,16 +612,28 @@ func (s *Sim) NewPacket() *Packet {
 		s.freePkt = s.freePkt[:n-1]
 		return p
 	}
-	return &Packet{pooled: true}
+	return &Packet{pooled: true, home: s}
 }
 
 // releasePacket recycles a pooled packet record. Unpooled packets (plain
 // literals) pass through untouched. All fields are cleared so the pool
 // never anchors payload buffers or control structs.
+//
+// In sharded mode a packet that terminated away from its allocating shard
+// is parked in a per-home return bin and flows back to its home pool at
+// the next barrier: without the return leg, a steady cross-shard flow
+// (an incast, say) would grow the sink shard's free list without bound
+// while the source shards allocate fresh records every packet — exactly
+// the ≤1 alloc/hop regression the per-shard pools exist to avoid.
 func (s *Sim) releasePacket(p *Packet) {
 	if p == nil || !p.pooled {
 		return
 	}
-	*p = Packet{pooled: true}
+	home := p.home
+	*p = Packet{pooled: true, home: home}
+	if home != nil && home != s {
+		s.retPkt[home.shardIdx] = append(s.retPkt[home.shardIdx], p)
+		return
+	}
 	s.freePkt = append(s.freePkt, p)
 }

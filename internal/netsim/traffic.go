@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"sync"
 
 	"trimgrad/internal/obs"
 	"trimgrad/internal/xrand"
@@ -69,8 +70,14 @@ func (c *CrossTraffic) scheduleNext() {
 	})
 }
 
-// FCTRecorder collects per-flow completion times.
+// FCTRecorder collects per-flow completion times. It is safe to share
+// across the shards of a sharded simulator: completion callbacks fire on
+// the shard goroutine that owns the receiving host, so the recorder
+// serializes its state behind a mutex. (Completion order across shards is
+// still deterministic — the keyed event order fixes it — so the recorded
+// multiset and every derived statistic are identical at any shard count.)
 type FCTRecorder struct {
+	mu    sync.Mutex
 	start map[uint64]Time
 	fcts  []Time
 	// Obs, when set, receives one "netsim.flow" span per completed flow
@@ -84,10 +91,16 @@ func NewFCTRecorder() *FCTRecorder {
 }
 
 // FlowStarted records the start time of a flow.
-func (f *FCTRecorder) FlowStarted(id uint64, at Time) { f.start[id] = at }
+func (f *FCTRecorder) FlowStarted(id uint64, at Time) {
+	f.mu.Lock()
+	f.start[id] = at
+	f.mu.Unlock()
+}
 
 // FlowFinished records completion; unknown flows are ignored.
 func (f *FCTRecorder) FlowFinished(id uint64, at Time) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if s, ok := f.start[id]; ok {
 		f.fcts = append(f.fcts, at-s)
 		delete(f.start, id)

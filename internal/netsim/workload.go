@@ -3,6 +3,8 @@ package netsim
 import (
 	"fmt"
 	"math"
+	"strconv"
+	"strings"
 
 	"trimgrad/internal/xrand"
 )
@@ -192,16 +194,46 @@ func BackgroundMix(n int, miceRate, elephantRate float64, seed uint64) Workload 
 	return w
 }
 
-// ParseWorkload resolves a CLI -workload flag value over n hosts.
-// Accepted names: incast, alltoall, permutation.
+// ParseWorkload resolves a CLI -workload flag value over n hosts. The
+// grammar is kind[:count]: "incast" fans every other host into the last
+// one, "incast:4" fans exactly 4 senders, and alltoall/permutation take
+// no count. An explicit count must fit the topology — unlike the Incast
+// builder, the parser rejects an oversized fan instead of clamping, so a
+// CLI typo is an error rather than a silently smaller experiment.
 func ParseWorkload(name string, n int, seed uint64) (Workload, error) {
-	switch name {
+	kind, arg, hasCount := strings.Cut(name, ":")
+	count := 0
+	if hasCount {
+		c, err := strconv.Atoi(arg)
+		if err != nil {
+			return Workload{}, fmt.Errorf("netsim: malformed count %q in workload %q", arg, name)
+		}
+		if c <= 0 {
+			return Workload{}, fmt.Errorf("netsim: workload %q count must be positive, got %d", kind, c)
+		}
+		count = c
+	}
+	if n < 2 {
+		return Workload{}, fmt.Errorf("netsim: workload %q needs at least 2 hosts, got %d", kind, n)
+	}
+	switch kind {
 	case "incast":
-		return Incast(n, n-1), nil
-	case "alltoall":
-		return AllToAll(n), nil
-	case "permutation":
+		fan := n - 1
+		if hasCount {
+			if count > n-1 {
+				return Workload{}, fmt.Errorf("netsim: incast fan %d exceeds the %d hosts that can send to the receiver", count, n-1)
+			}
+			fan = count
+		}
+		return Incast(n, fan), nil
+	case "alltoall", "permutation":
+		if hasCount {
+			return Workload{}, fmt.Errorf("netsim: workload %q takes no count (only incast:<fan> does)", kind)
+		}
+		if kind == "alltoall" {
+			return AllToAll(n), nil
+		}
 		return Permutation(n, seed), nil
 	}
-	return Workload{}, fmt.Errorf("netsim: unknown workload %q (want incast|alltoall|permutation)", name)
+	return Workload{}, fmt.Errorf("netsim: unknown workload %q (want incast[:fan]|alltoall|permutation)", kind)
 }

@@ -1,6 +1,9 @@
 package netsim
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestIncastWorkload(t *testing.T) {
 	w := Incast(8, 4)
@@ -147,5 +150,54 @@ func TestParseWorkloadAndTopology(t *testing.T) {
 	}
 	if _, err := ParseTopology("mesh"); err == nil {
 		t.Error("unknown topology accepted")
+	}
+}
+
+func TestParseWorkloadCount(t *testing.T) {
+	w, err := ParseWorkload("incast:4", 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Flows) != 4 {
+		t.Errorf("incast:4 flows = %d, want 4", len(w.Flows))
+	}
+	// No count keeps the full fan.
+	w, err = ParseWorkload("incast", 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Flows) != 15 {
+		t.Errorf("incast flows = %d, want 15", len(w.Flows))
+	}
+}
+
+func TestParseWorkloadErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		hosts int
+		want  string // substring of the error
+	}{
+		{"bogus", 8, "unknown workload"},
+		{"incast:abc", 8, "malformed count"},
+		{"incast:", 8, "malformed count"},
+		{"incast:1.5", 8, "malformed count"},
+		{"incast:-3", 8, "must be positive"},
+		{"incast:0", 8, "must be positive"},
+		{"incast:8", 8, "exceeds the 7 hosts"},
+		{"alltoall:4", 8, "takes no count"},
+		{"permutation:2", 8, "takes no count"},
+		{"incast", 1, "at least 2 hosts"},
+		{"alltoall", 0, "at least 2 hosts"},
+	}
+	for _, tc := range cases {
+		_, err := ParseWorkload(tc.name, tc.hosts, 1)
+		if err == nil {
+			t.Errorf("ParseWorkload(%q, %d) accepted", tc.name, tc.hosts)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParseWorkload(%q, %d) = %q, want substring %q",
+				tc.name, tc.hosts, err, tc.want)
+		}
 	}
 }

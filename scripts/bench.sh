@@ -20,9 +20,26 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 date=${BENCH_DATE:-$(date +%Y-%m-%d)}
-pattern=${BENCH_PATTERN:-'Hot|Fig5|FWHT|E5WirePack|Fabric|Collective'}
+pattern=${BENCH_PATTERN:-'Hot|Fig5|FWHT|E5WirePack|Fabric|Collective|Shard'}
 benchtime=${BENCH_TIME:-3x}
 out="BENCH_${date}.json"
+# Same-day rerun: auto-suffix b, c, … instead of clobbering (or requiring
+# a manual rename). Suffixes sort after the bare date ('.' < 'b'), so the
+# plain `ls | sort` below — and benchjson -diff's notion of "previous" —
+# always picks the latest run of a day.
+if [[ -e "$out" ]]; then
+  for s in b c d e f g h i j k l m n o p q r s t u v w x y z; do
+    candidate="BENCH_${date}${s}.json"
+    [[ -e "$candidate" ]] && continue
+    out="$candidate"
+    break
+  done
+  if [[ -e "$out" ]]; then
+    echo "bench.sh: every same-day suffix for $date is taken; pass BENCH_DATE to pick another stamp" >&2
+    exit 1
+  fi
+  echo "note: BENCH_${date}.json exists; writing $out"
+fi
 raw=$(mktemp /tmp/trimgrad-bench.XXXXXX.txt)
 trap 'rm -f "$raw"' EXIT
 

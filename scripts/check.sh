@@ -7,11 +7,13 @@
 #                             runs the test suite with -short
 #   scripts/check.sh -chaos   fault-injection pass only: race-enabled chaos,
 #                             fault, and duplicate-delivery regression tests
-#   scripts/check.sh -bench   perf smoke only: the BenchmarkHot* suite and
+#   scripts/check.sh -bench   perf smoke only: the BenchmarkHot* suite,
 #                             the BenchmarkFabric* fast-path suite (wheel,
-#                             pooled hops, and the k=4 fat-tree incast) run
-#                             clean under -race with live obs registries,
-#                             and the obs overhead guard still holds
+#                             pooled hops, and the k=4 fat-tree incast),
+#                             and the BenchmarkShardFabric partitioned-
+#                             engine suite run clean under -race with live
+#                             obs registries, and the obs overhead guard
+#                             still holds
 #   scripts/check.sh -lint    static pass only: gofmt + go vet + trimlint
 #                             (trimlint replays from .trimlint-cache when
 #                             the tree is unchanged)
@@ -34,7 +36,9 @@ if [[ $mode == bench ]]; then
   step "go test -race -bench Hot (hot-path suite, live registries)"
   go test -race -run '^$' -bench 'Hot' -benchtime 1x .
   step "go test -race -bench Fabric (wheel + pooled-event fast path)"
-  go test -race -run '^$' -bench 'Fabric' -benchtime 1x .
+  go test -race -run '^$' -bench '^Fabric' -benchtime 1x .
+  step "go test -race -bench Shard (partitioned engine, cross-shard mailboxes)"
+  go test -race -run '^$' -bench 'Shard' -benchtime 1x .
   step "obs overhead guard (encode hot path, Nop vs live registry)"
   go test -run 'TestObsOverheadGuard' -count=1 .
   echo "OK (bench smoke)"
@@ -83,6 +87,15 @@ go test ./...
 
 step "go test -race (concurrency-heavy packages)"
 go test -race ./internal/core ./internal/transport ./internal/collective ./internal/ddp
+
+step "shard determinism (differential + sharded matrices, -race, GOMAXPROCS 1 and 4)"
+# The bit-identity contract must hold however the goroutines are actually
+# scheduled: truly parallel (4) and fully serialized (1) both run under
+# the race detector.
+for procs in 1 4; do
+  GOMAXPROCS=$procs go test -race -run 'Shard' -count=1 \
+    ./internal/netsim ./internal/collective
+done
 
 step "metrics export smoke (trimbench -metrics -> metricsval)"
 metrics_tmp=$(mktemp /tmp/trimgrad-metrics.XXXXXX.jsonl)
