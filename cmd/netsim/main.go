@@ -23,6 +23,7 @@ import (
 	"trimgrad/internal/obs"
 	"trimgrad/internal/quant"
 	"trimgrad/internal/transport"
+	"trimgrad/internal/wire"
 )
 
 func fail(err error) {
@@ -78,6 +79,7 @@ func main() {
 		mice     = flag.Float64("mice", 0, "background mouse-flow rate (packets/s per host; 200 B packets)")
 		elephant = flag.Float64("elephants", 0, "background elephant-flow rate (packets/s per fourth host; 1500 B packets)")
 		seed     = flag.Uint64("seed", 1, "seed")
+		arena    = flag.Bool("arena", false, "recycle payload buffers through a generation-stamped wire arena (zero-alloc fast path; composes with -shards and fault injection)")
 		shards   = flag.Int("shards", 0, "simulator shards (parallel partitions; 0 = min(GOMAXPROCS, rack switches)); results are bit-identical at every count")
 		verbose  = flag.Bool("v", false, "print the shard partition map (shard → switches/hosts)")
 		metrics  = flag.String("metrics", "", "export per-port/transport telemetry and flow spans as JSONL to this file")
@@ -147,13 +149,23 @@ func main() {
 	}
 	flows := w.GradientFlows()
 
-	// One transport stack per host that sends or receives gradients.
+	// One transport stack per host that sends or receives gradients. With
+	// -arena each sending host recycles its payload buffers through its own
+	// generation-stamped arena (DESIGN.md §16) — legal at any -shards count
+	// and under aliasing faults, with stale touches surfacing in the
+	// per-tier stale counter below.
 	stacks := make(map[int]*transport.Stack)
+	arenas := make(map[int]*wire.Arena)
 	stackFor := func(h int) *transport.Stack {
 		if s, ok := stacks[h]; ok {
 			return s
 		}
-		s, err := transport.New(t.Hosts[h])
+		var opts []transport.Opt
+		if *arena {
+			arenas[h] = wire.NewArena()
+			opts = append(opts, transport.WithArena(arenas[h]))
+		}
+		s, err := transport.New(t.Hosts[h], opts...)
 		if err != nil {
 			fail(err)
 		}
@@ -169,9 +181,15 @@ func main() {
 	for i, f := range flows {
 		src, dst := stackFor(f.Src), stackFor(f.Dst)
 		_ = dst // created so the destination can reassemble
-		enc, err := core.NewEncoder(core.Config{
+		encOpts := []core.Option{core.WithConfig(core.Config{
 			Params: quant.Params{Scheme: quant.RHT}, RowSize: 1 << 13, Flow: uint32(i),
-		})
+		})}
+		if *arena {
+			// The sender's encoder packs into the same arena its transport
+			// recycles, closing the Get → send → Put loop per host.
+			encOpts = append(encOpts, core.WithArena(arenas[f.Src]))
+		}
+		enc, err := core.NewEncoderWith(encOpts...)
 		if err != nil {
 			fail(err)
 		}
@@ -244,14 +262,15 @@ func main() {
 				st.Trimmed += p.Stats.Trimmed
 				st.Dropped += p.Stats.Dropped
 				st.Aggregated += p.Stats.Aggregated
+				st.StaleDrops += p.Stats.StaleDrops
 				if p.Stats.MaxQueueBytes > maxQ {
 					maxQ = p.Stats.MaxQueueBytes
 				}
 			}
 		}
-		fmt.Printf("tier %-6s (%2d sw) enq=%d tx=%d trim=%d drop=%d agg=%d maxQ=%dB\n",
+		fmt.Printf("tier %-6s (%2d sw) enq=%d tx=%d trim=%d drop=%d agg=%d stale=%d maxQ=%dB\n",
 			tier.Name, len(tier.Switches), st.Enqueued, st.Transmitted,
-			st.Trimmed, st.Dropped, st.Aggregated, maxQ)
+			st.Trimmed, st.Dropped, st.Aggregated, st.StaleDrops, maxQ)
 	}
 
 	if *metrics != "" {

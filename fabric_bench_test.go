@@ -9,6 +9,7 @@ package trimgrad
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"trimgrad/internal/netsim"
@@ -172,6 +173,64 @@ func BenchmarkShardFabric(b *testing.B) {
 			}
 			hops := b.N * pktsPerHost * n
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(hops), "ns/pkt")
+		})
+	}
+}
+
+// BenchmarkArenaChaos measures the stamped-arena fast path under the
+// aliasing faults that used to force the copy path (DESIGN.md §16):
+// reordering plus duplication on the first host's link. "fresh" allocates
+// every payload at send time — the cost the old unconditional copy paid —
+// while "arena" recycles generation-stamped buffers, so its steady-state
+// allocs/hop must sit within 2× of the clean fabric's pooled budget (the
+// only remaining allocations are the duplicates' defensive clones).
+func BenchmarkArenaChaos(b *testing.B) {
+	const pkts = 256
+	const hops = pkts * 2
+	for _, style := range []string{"fresh", "arena"} {
+		useArena := style == "arena"
+		b.Run(style, func(b *testing.B) {
+			sim := netsim.NewSim()
+			star := fabricStar(sim)
+			star.Net.InjectFaults(0, netsim.SwitchIDBase, netsim.FaultConfig{
+				Seed: 3, ReorderRate: 0.2, ReorderDelay: 5 * netsim.Microsecond, DuplicateRate: 0.2,
+			})
+			arena := wire.NewArena()
+			bufs := make([][]byte, 0, pkts)
+			send := func() {
+				bufs = bufs[:0]
+				for j := 0; j < pkts; j++ {
+					pkt := sim.NewPacket()
+					pkt.Dst = star.Hosts[(j+1)%4].ID()
+					pkt.Size = 1500
+					if useArena {
+						buf, gen := arena.GetStamped(1500)
+						pkt.Payload = buf
+						pkt.PayloadOwner = arena
+						pkt.PayloadGen = gen
+						bufs = append(bufs, buf)
+					} else {
+						pkt.Payload = make([]byte, 1500)
+					}
+					star.Hosts[j%4].Send(pkt)
+				}
+				sim.Run()
+				for _, buf := range bufs {
+					arena.Put(buf)
+				}
+			}
+			send() // warm pools, free lists, and stamp registrations
+			b.ReportAllocs()
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				send()
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&after)
+			b.ReportMetric(float64(after.Mallocs-before.Mallocs)/float64(b.N*hops), "allocs/hop")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*hops), "ns/hop")
 		})
 	}
 }

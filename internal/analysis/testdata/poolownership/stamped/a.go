@@ -1,0 +1,104 @@
+// Package wire is the poolownership fixture for the generation-stamped
+// release idiom (DESIGN.md §16): GetStamped is a tuple acquisition, the
+// stamp queries (GenOf, Valid, AddFlight, EndFlight, Flights) are neither
+// uses nor releases, and a Valid-guarded branch may keep reading a buffer
+// the owner already released — that is the whole point of the stamps.
+// Reading a released buffer without the guard stays a violation.
+package wire
+
+// Arena mirrors the stamped surface of the real payload arena.
+type Arena struct {
+	free [][]byte
+	gen  uint64
+}
+
+// Get is the plain acquisition point.
+func (a *Arena) Get(n int) []byte { return make([]byte, n) }
+
+// GetStamped is the tuple acquisition: buffer plus generation stamp.
+func (a *Arena) GetStamped(n int) ([]byte, uint64) { return make([]byte, n), a.gen }
+
+// Put is the root sink; its body is the trusted boundary.
+func (a *Arena) Put(b []byte) {
+	if b == nil {
+		return
+	}
+	a.gen++
+	a.free = append(a.free, b)
+}
+
+// GenOf, Valid, AddFlight, EndFlight, and Flights are the stamp queries:
+// they read the buffer's identity, never its bytes.
+func (a *Arena) GenOf(b []byte) uint64 { return a.gen }
+
+func (a *Arena) Valid(b []byte, gen uint64) bool { return a.gen == gen }
+
+func (a *Arena) AddFlight(b []byte) {}
+
+func (a *Arena) EndFlight(b []byte) {}
+
+func (a *Arena) Flights(b []byte) int { return 0 }
+
+// stampedRelease is the canonical §16 idiom: the owner releases, and a
+// late toucher re-validates the stamp before reading. The guarded read is
+// clean — the generation check just proved no recycle happened.
+func stampedRelease(a *Arena, n int) int {
+	buf, gen := a.GetStamped(n)
+	buf[0] = 1
+	a.AddFlight(buf)
+	a.Put(buf)
+	a.EndFlight(buf)
+	if a.Valid(buf, gen) {
+		return int(buf[0]) // guarded: legal resurrection
+	}
+	return -1
+}
+
+// stampQueriesAreNotUses pins that asking about a released buffer's stamp
+// state is never itself a use-after-release.
+func stampQueriesAreNotUses(a *Arena) (uint64, int) {
+	buf, _ := a.GetStamped(16)
+	a.Put(buf)
+	return a.GenOf(buf), a.Flights(buf)
+}
+
+// useAfterStale is the violation: reading a released buffer without the
+// Valid guard (or on the stale side of it) is exactly the torn-payload
+// read the stamps exist to prevent.
+func useAfterStale(a *Arena) byte {
+	buf, gen := a.GetStamped(8)
+	a.Put(buf)
+	if !a.Valid(buf, gen) {
+		return buf[0] // want "use of arena buffer .* after release"
+	}
+	return 0
+}
+
+// unguardedUseAfterStale is the plain unguarded read.
+func unguardedUseAfterStale(a *Arena) byte {
+	buf, _ := a.GetStamped(8)
+	a.Put(buf)
+	return buf[0] // want "use of arena buffer .* after release"
+}
+
+// stampedLeak: a tuple acquisition still carries the release obligation.
+func stampedLeak(a *Arena, n int) uint64 {
+	buf, gen := a.GetStamped(n) // want "Arena.GetStamped. is never released"
+	_ = buf
+	return gen
+}
+
+// stampedPartial: released on some paths but not all, tuple-acquired.
+func stampedPartial(a *Arena, n int) {
+	buf, _ := a.GetStamped(n) // want "released on some paths but not all"
+	if n > 4 {
+		a.Put(buf)
+	}
+}
+
+// stampedDouble: a tuple-acquired buffer still may not be recycled twice.
+func stampedDouble(a *Arena) {
+	buf, _ := a.GetStamped(8)
+	a.Put(buf)
+	a.Put(buf) // want "released again"
+}

@@ -58,11 +58,13 @@ func (c FaultConfig) enabled() bool {
 		c.GoodToBad > 0 || c.LossGood > 0
 }
 
-// aliasing reports whether the config can make two in-flight packets (or
-// one in-flight and one already-delivered packet) share payload memory:
-// duplication clones headers but shares the payload slice, and reordering
-// holds a payload across re-admission. Either combines unsafely with
-// arena payload recycling — see Sim.MarkPayloadRecycling.
+// aliasing reports whether the config can hold a payload reference beyond
+// its normal forwarding step: reordering parks a packet across
+// re-admission, and duplication extends the window in which a retransmit
+// and its original coexist. Both are safe alongside arena payload
+// recycling since generation-stamped buffers landed (DESIGN.md §16); the
+// predicate remains for telemetry (Sim.HasAliasingFaults) and the chaos
+// matrices' configuration summaries.
 func (c FaultConfig) aliasing() bool {
 	return c.DuplicateRate > 0 || c.ReorderRate > 0
 }
@@ -191,10 +193,13 @@ func (f *FaultInjector) corrupt(pkt *Packet) *Packet {
 // SetFaults attaches a fault process to this port, deriving its stream
 // from cfg.Seed and streamID. A zero-value cfg detaches.
 //
-// Attaching a config that can alias payloads (duplication, reordering)
-// while a transport recycles payload buffers through a wire.Arena panics:
-// the combination silently corrupts replays, and topology/chaos mistakes
-// fail loudly here (like portBetween) rather than downstream.
+// Aliasing configs (duplication, reordering) compose with arena payload
+// recycling since generation-stamped buffers landed (DESIGN.md §16): a
+// held-back or duplicated packet re-validates its payload's generation
+// stamp at re-admission, so a recycled buffer becomes a counted
+// stale-drop instead of a silent replay corruption. The old panic for
+// the WithArena combination is gone; the aliasing tally remains as the
+// telemetry behind Sim.HasAliasingFaults.
 func (p *Port) SetFaults(cfg FaultConfig, streamID ...uint64) *FaultInjector {
 	if p.faults != nil && p.faults.cfg.aliasing() {
 		p.sim.aliasFaultAdd(-1)
@@ -204,9 +209,6 @@ func (p *Port) SetFaults(cfg FaultConfig, streamID ...uint64) *FaultInjector {
 		return nil
 	}
 	if cfg.aliasing() {
-		if p.sim.recyclers() > 0 {
-			panic(fmt.Sprintf("netsim: fault config with DuplicateRate/ReorderRate on port %d->%d while a transport recycles payloads through an arena; drop WithArena or the aliasing faults (see ROADMAP: generation-stamped buffers)", p.owner, p.peer.ID()))
-		}
 		p.sim.aliasFaultAdd(1)
 	}
 	p.faults = newFaultInjector(p.sim, cfg, streamID...)

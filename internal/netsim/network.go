@@ -231,6 +231,13 @@ type PortStats struct {
 	// into a queued one (so k original packets becoming one aggregate
 	// count k−1). Only nonzero with QueueConfig.AggregateTrimmable.
 	Aggregated int
+	// StaleDrops counts stamped payloads refused at admission because
+	// their arena generation had moved on (the buffer was recycled while
+	// this packet was in flight — see DESIGN.md §16). Always zero under
+	// the correct ownership protocol; nonzero means a sender released a
+	// buffer it did not exclusively own and the generation stamp turned
+	// the read into a counted drop instead of silent corruption.
+	StaleDrops int
 }
 
 // portObs mirrors PortStats into the simulator's telemetry registry. The
@@ -246,6 +253,7 @@ type portObs struct {
 	ecnMarked    *obs.Counter
 	downDrops    *obs.Counter
 	aggregated   *obs.Counter
+	staleDrops   *obs.Counter
 	queueDepth   *obs.Histogram
 }
 
@@ -260,6 +268,7 @@ func newPortObs(r *obs.Registry, owner, peer NodeID) portObs {
 		ecnMarked:    r.Counter(prefix + "ecn_marked_total"),
 		downDrops:    r.Counter(prefix + "down_drops_total"),
 		aggregated:   r.Counter(prefix + "aggregated_total"),
+		staleDrops:   r.Counter(prefix + "stale_drops_total"),
 		queueDepth:   r.Histogram(prefix+"queue_depth_bytes", obs.BucketsBytes()),
 	}
 }
@@ -333,6 +342,17 @@ func (p *Port) admit(pkt *Packet) {
 		// A reordered packet can surface after a flap began.
 		p.Stats.DownDrops++
 		p.obs.downDrops.Inc()
+		p.sim.releasePacket(pkt)
+		return
+	}
+	// Stamp validation before any queueing decision: a stamped payload
+	// whose generation moved on (recycled mid-flight) must not be read,
+	// queued, or merged. Covers first admission, reordered re-admission
+	// (evAdmit funnels back through here), and duplicates.
+	if pkt.PayloadOwner != nil && !pkt.PayloadOwner.Valid(pkt.Payload, pkt.PayloadGen) {
+		p.Stats.StaleDrops++
+		p.obs.staleDrops.Inc()
+		p.sim.staleDrops++
 		p.sim.releasePacket(pkt)
 		return
 	}
@@ -624,16 +644,23 @@ func (h *Host) Send(pkt *Packet) {
 		return
 	}
 	pkt.Src = h.id
-	// On a sharded simulator the flight bytes must not alias the sender's
-	// buffers: the transport retains the payload for retransmission, and
-	// in-flight writes (a switch setting the trimmed flag, the receiver's
-	// checksum normalize-and-restore) on another shard would race with a
-	// retransmit read here. Copying at injection gives the payload a single
-	// owner chain — exactly one shard touches it at any virtual time, with
-	// hand-off barriers ordering the transfers. Done at every shard count
-	// (1 included) so the bit-identity contract compares like with like;
-	// the legacy unsharded path keeps its zero-copy aliasing.
-	if h.sim.eng != nil && pkt.Payload != nil {
+	if pkt.PayloadOwner != nil {
+		// Generation-stamped payload (DESIGN.md §16): the stamp becomes an
+		// in-flight reference. The arena parks any Put while references
+		// remain, so the buffer cannot be recycled under this packet, and
+		// in-flight mutation is ruled out by copy-on-trim plus the
+		// write-free checksum — which is what makes the zero-copy fast
+		// path legal even across shard boundaries and under aliasing
+		// faults.
+		pkt.PayloadOwner.AddFlight(pkt.Payload)
+	} else if h.sim.eng != nil && pkt.Payload != nil {
+		// Unstamped payload on a sharded simulator: the transport may
+		// retain the slice for retransmission with no arena tracking the
+		// aliasing, so copying at injection keeps a single owner chain —
+		// exactly one shard touches the bytes at any virtual time, with
+		// hand-off barriers ordering the transfers. Done at every shard
+		// count (1 included) so the bit-identity contract compares like
+		// with like; stamped senders skip the copy everywhere.
 		pkt.Payload = append([]byte(nil), pkt.Payload...)
 	}
 	h.uplink.Enqueue(pkt)

@@ -41,6 +41,19 @@ type Packet struct {
 	// ECE carries an ECN congestion-experienced mark.
 	ECE bool
 
+	// PayloadOwner, when non-nil, is the wire.Arena whose generation stamp
+	// guards Payload: the buffer is shared zero-copy with its sender (which
+	// may recycle it through the arena), so every late toucher must check
+	// PayloadOwner.Valid(Payload, PayloadGen) before reading and treat a
+	// mismatch as a counted stale-drop (DESIGN.md §16). Host.Send converts
+	// the stamp into an in-flight reference (Arena.AddFlight) and
+	// Sim.releasePacket retires it, so under the correct ownership protocol
+	// the buffer is parked — never recycled — while this packet lives.
+	PayloadOwner *wire.Arena
+	// PayloadGen is the generation stamp taken when the payload was handed
+	// to the fabric.
+	PayloadGen uint64
+
 	// pooled marks a record obtained from Sim.NewPacket. The fabric
 	// recycles pooled records at their terminal point (host delivery or
 	// drop); plain &Packet{} literals stay unpooled and are left to the
@@ -62,6 +75,8 @@ func (p *Packet) Clone() *Packet {
 	if p.Payload != nil {
 		q.Payload = append([]byte(nil), p.Payload...)
 	}
+	// The copy is privately owned: no stamp, no flight to retire.
+	q.PayloadOwner, q.PayloadGen = nil, 0
 	return &q
 }
 
@@ -89,6 +104,18 @@ func (p *Packet) Trimmable() bool {
 func (p *Packet) TrimTo(target int) bool {
 	if p.Payload == nil {
 		return false
+	}
+	if p.PayloadOwner != nil {
+		// Copy-on-trim (DESIGN.md §16): wire.Trim rewrites the flags byte
+		// and tail CRC in place, but a stamped payload is the sender's
+		// retransmit buffer shared zero-copy — writing it here would poison
+		// retries and, on a sharded fabric, race a concurrent sender-side
+		// read. The trim mutates a private copy; the shared buffer's flight
+		// is retired since this packet no longer references it.
+		owner, old := p.PayloadOwner, p.Payload
+		p.Payload = append([]byte(nil), old...)
+		p.PayloadOwner, p.PayloadGen = nil, 0
+		owner.EndFlight(old)
 	}
 	want := target - wire.NetOverhead
 	trimmed := wire.Trim(p.Payload, want)

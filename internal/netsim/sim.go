@@ -206,14 +206,19 @@ type Sim struct {
 	controlMerger func(into, from *Packet, merged []byte) (any, bool)
 
 	// aliasFaults counts attached fault injectors whose config can alias
-	// packet payloads (duplication clones share-on-write, reordering holds
-	// a payload across re-admission). payloadRecyclers counts transports
-	// recycling payload buffers through a wire.Arena. The two are mutually
-	// exclusive until generation-stamped buffers land (ROADMAP): a recycled
-	// buffer re-used while a duplicate or delayed packet still references
-	// it would silently corrupt the replay.
+	// packet payloads (reordering holds a payload across re-admission).
+	// payloadRecyclers counts transports recycling payload buffers through
+	// a wire.Arena. The two compose freely since generation-stamped
+	// buffers landed (DESIGN.md §16): stamps plus flight counts turn any
+	// recycled-while-referenced touch into a counted stale-drop instead of
+	// silent corruption. The tallies remain for telemetry and the
+	// partition-ordering check in ShardTopology.
 	aliasFaults      int
 	payloadRecyclers int
+
+	// staleDrops counts stamped payloads dropped at a terminal touch point
+	// because their arena generation had moved on (see Sim.StaleDrops).
+	staleDrops uint64
 
 	// Processed counts executed events (useful in tests and as a runaway
 	// guard).
@@ -224,23 +229,22 @@ type Sim struct {
 func NewSim() *Sim { return &Sim{} }
 
 // MarkPayloadRecycling registers a transport that recycles payload
-// buffers through a wire.Arena. It fails if any attached fault injector
-// can alias payloads (duplication or reordering): a recycled buffer
-// re-used while a duplicate or delayed packet still references it would
-// corrupt the replay silently. The restriction lifts once
-// generation-stamped arena buffers land (ROADMAP).
-//
-// On a sharded simulator it always fails: an arena buffer freed at the
-// sender's shard can be logically concurrent with a switch on another
-// shard still parsing it inside the same synchronization window, so the
-// ownership rule that makes recycling safe sequentially does not survive
-// the hand-off (DESIGN.md §15).
+// buffers through a wire.Arena. Since generation-stamped buffers landed
+// (DESIGN.md §16) it always succeeds: every stamped payload carries an
+// (owner arena, generation) pair, late touchers — retransmits, reordered
+// re-admissions, switch-side trim and aggregate mutation — validate the
+// stamp before reading and count a mismatch as a stale-drop, and
+// Host.Send converts the stamp into an in-flight reference that parks the
+// buffer's recycling until the last reference drains. That protocol holds
+// across shard boundaries too (the arena's state is lock-protected and
+// the flight count is shard-agnostic), so aliasing faults and sharded
+// engines both compose with the zero-alloc path. The error return is kept
+// for callers written against the old blanket rejection; it is now
+// always nil.
 func (s *Sim) MarkPayloadRecycling() error {
 	if s.eng != nil {
-		return fmt.Errorf("netsim: arena payload recycling is not supported on a sharded simulator; build transports without WithArena or run with 1 shard unsharded (see DESIGN.md §15)")
-	}
-	if s.aliasFaults > 0 {
-		return fmt.Errorf("netsim: arena payload recycling is unsafe with %d fault injector(s) enabling DuplicateRate/ReorderRate; drop WithArena or the aliasing faults", s.aliasFaults)
+		s.eng.payloadRecyclers++
+		return nil
 	}
 	s.payloadRecyclers++
 	return nil
@@ -266,12 +270,23 @@ func (s *Sim) aliasFaultAdd(d int) {
 	s.aliasFaults += d
 }
 
-// recyclers returns the payload-recycler count at the right scope.
-func (s *Sim) recyclers() int {
+// StaleDrops returns how many stamped payloads the fabric refused to
+// touch because their generation had moved on — a deliver, re-admission,
+// or merge that arrived after the buffer was recycled. Under the correct
+// ownership protocol (flights retired at every terminal point) this is
+// always zero; a nonzero count means an owner released a buffer it did
+// not exclusively hold, and the stamps turned what would have been silent
+// corruption into counted drops. Port-level stale drops are also counted
+// in PortStats.StaleDrops.
+func (s *Sim) StaleDrops() uint64 {
 	if s.eng != nil {
-		return s.eng.payloadRecyclers
+		var n uint64
+		for _, sh := range s.eng.shards {
+			n += sh.sim.staleDrops
+		}
+		return n
 	}
-	return s.payloadRecyclers
+	return s.staleDrops
 }
 
 // SetControlMerger registers the transport hook the aggregation merge path
@@ -493,13 +508,24 @@ func (s *Sim) dispatch(ev *event) {
 	case evTxDone:
 		ev.port.onTxDone(ev.pkt)
 	case evDeliver:
-		ev.node.Deliver(ev.pkt)
-		// A host is the packet's terminal hop: once Deliver returned, the
-		// fabric owns the record again and can recycle it. Switches
-		// forward, so their packets stay live.
+		// A host is the packet's terminal hop; a stamped payload whose
+		// generation moved on while the packet propagated must not reach
+		// the application (every queued hop re-checks in Port.admit, so the
+		// final propagation leg is the only uncovered window).
 		if _, isHost := ev.node.(*Host); isHost {
+			if pkt := ev.pkt; pkt != nil && pkt.PayloadOwner != nil &&
+				!pkt.PayloadOwner.Valid(pkt.Payload, pkt.PayloadGen) {
+				s.staleDrops++
+				s.releasePacket(pkt)
+				return
+			}
+			ev.node.Deliver(ev.pkt)
+			// Once Deliver returned, the fabric owns the record again and
+			// can recycle it. Switches forward, so their packets stay live.
 			s.releasePacket(ev.pkt)
+			return
 		}
+		ev.node.Deliver(ev.pkt)
 	case evAdmit:
 		ev.port.admit(ev.pkt)
 	}
@@ -626,7 +652,19 @@ func (s *Sim) NewPacket() *Packet {
 // while the source shards allocate fresh records every packet — exactly
 // the ≤1 alloc/hop regression the per-shard pools exist to avoid.
 func (s *Sim) releasePacket(p *Packet) {
-	if p == nil || !p.pooled {
+	if p == nil {
+		return
+	}
+	// Retire the in-flight arena reference before the pooled check: stamped
+	// payloads ride unpooled packets too, and every terminal point funnels
+	// through here. Draining the last flight completes a parked recycle
+	// (Arena.EndFlight), which is what lets the sender's Put proceed even
+	// when a reordered or duplicated copy outlived the message.
+	if p.PayloadOwner != nil {
+		p.PayloadOwner.EndFlight(p.Payload)
+		p.PayloadOwner, p.PayloadGen = nil, 0
+	}
+	if !p.pooled {
 		return
 	}
 	home := p.home

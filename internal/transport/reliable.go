@@ -28,6 +28,9 @@ type relSender struct {
 	dst      netsim.NodeID
 	id       uint32
 	payloads [][]byte
+	// gens holds the arena generation stamp of each payload (nil without
+	// an arena); every transmit re-validates before reading the buffer.
+	gens     []uint64
 	acked    []bool
 	inFlight map[int]bool
 	nAcked   int
@@ -52,6 +55,7 @@ func (s *Stack) SendReliable(dst netsim.NodeID, id uint32, payloads [][]byte,
 		dst:      dst,
 		id:       id,
 		payloads: payloads,
+		gens:     s.stampGens(payloads),
 		acked:    make([]bool, len(payloads)),
 		inFlight: make(map[int]bool),
 		cwnd:     float64(s.cfg.InitWindow),
@@ -77,6 +81,9 @@ func (tx *relSender) pump() {
 }
 
 func (tx *relSender) transmit(idx int) {
+	if tx.stack.staleSend(tx.gens, tx.payloads[idx], idx) {
+		return
+	}
 	tx.inFlight[idx] = true
 	tx.stack.Stats.DataSent++
 	tx.stack.obs.dataSent.Inc()
@@ -91,6 +98,7 @@ func (tx *relSender) transmit(idx int) {
 		MsgID: tx.id, Idx: idx, Total: len(tx.payloads),
 		Sum: payloadSum(tx.payloads[idx]),
 	}
+	tx.stack.stamp(pkt, tx.gens, idx)
 	tx.stack.host.Send(pkt)
 }
 

@@ -111,6 +111,12 @@ type Stats struct {
 	// already being accounted for; they are re-acked but never
 	// re-delivered to the application.
 	DupsReceived int
+	// StaleDrops counts retransmissions skipped because the payload
+	// buffer's arena generation had moved on (the buffer was recycled
+	// while the message was still nominally in flight — DESIGN.md §16).
+	// Always zero under the correct ownership protocol, where a message's
+	// buffers are parked until its last in-flight packet terminates.
+	StaleDrops int
 }
 
 // Stack is the per-host transport endpoint. Create one per host with New;
@@ -155,6 +161,7 @@ type stackObs struct {
 	failures        *obs.Counter
 	rejectedPackets *obs.Counter
 	dupsReceived    *obs.Counter
+	staleDrops      *obs.Counter
 	cwnd            *obs.Gauge
 }
 
@@ -171,6 +178,7 @@ func newStackObs(r *obs.Registry, id netsim.NodeID) stackObs {
 		failures:        r.Counter(prefix + "failures_total"),
 		rejectedPackets: r.Counter(prefix + "rejected_packets_total"),
 		dupsReceived:    r.Counter(prefix + "dups_received_total"),
+		staleDrops:      r.Counter(prefix + "stale_drops_total"),
 		cwnd:            r.Gauge(prefix + "cwnd_x1000"),
 	}
 }
@@ -206,17 +214,22 @@ func WithReceiver(rcv Receiver) Opt { return func(o *stackOpts) { o.rcv = rcv } 
 // accounted for, or the retry budget exhausted) its payload slices are
 // recycled into a for the next encode. The caller must stop touching the
 // buffers once SendReliable/SendTrimmable returns, and must not also
-// release them itself (core's Message.Release). See DESIGN.md §11 for
-// when recycling is safe — it requires that no alias of a finished
-// message's buffers can still be in flight, which holds under drops and
-// trims but not under reorder/duplicate fault injection.
+// release them itself (core's Message.Release). Every outgoing payload is
+// generation-stamped against a (DESIGN.md §16): the fabric holds a flight
+// reference per in-flight packet, so a finished message's buffers are
+// parked — not recycled — until the last reordered or duplicated copy
+// terminates, and any touch that slips past the protocol is refused by a
+// stamp check instead of reading recycled bytes. That is what makes the
+// arena legal under reorder/duplicate fault injection and on sharded
+// simulators, where the old ownership argument (DESIGN.md §11) did not
+// hold on its own.
 func WithArena(a *wire.Arena) Opt { return func(o *stackOpts) { o.arena = a } }
 
-// New attaches a transport stack to h, configured by options. It fails
-// when WithArena is combined with fault injection that can alias payload
-// buffers (duplication or reordering) — the documented-unsafe combination
-// DESIGN.md §11 describes — instead of silently risking recycled-buffer
-// corruption.
+// New attaches a transport stack to h, configured by options. The error
+// return survives from the era when WithArena was rejected against
+// aliasing fault injection; since generation-stamped arena buffers landed
+// (DESIGN.md §16) no option combination fails, and the error is always
+// nil.
 func New(h *netsim.Host, opts ...Opt) (*Stack, error) {
 	o := stackOpts{reg: h.Sim().Obs()}
 	for _, opt := range opts {
@@ -301,6 +314,47 @@ func (s *Stack) releasePayloads(sets ...[][]byte) {
 			set[i] = nil
 		}
 	}
+}
+
+// stampGens registers every payload with the stack's arena and returns
+// the generation stamps the senders will transmit (and later re-validate)
+// under. Nil without an arena — the no-stamp fast path for copy-mode
+// stacks. GenOf registers foreign buffers too, so stamping works whether
+// or not the encoder drew its buffers from the same arena.
+func (s *Stack) stampGens(payloads [][]byte) []uint64 {
+	if s.arena == nil || len(payloads) == 0 {
+		return nil
+	}
+	gens := make([]uint64, len(payloads))
+	for i, b := range payloads {
+		gens[i] = s.arena.GenOf(b)
+	}
+	return gens
+}
+
+// staleSend reports whether payload idx's stamp went stale — the buffer
+// was recycled while the message was nominally still in flight — in which
+// case the (re)transmission is counted in Stats.StaleDrops and skipped.
+// Under the correct ownership protocol (buffers parked until the last
+// in-flight reference drains) this never fires; it is the sender-side
+// tripwire of DESIGN.md §16.
+func (s *Stack) staleSend(gens []uint64, payload []byte, idx int) bool {
+	if gens == nil || s.arena.Valid(payload, gens[idx]) {
+		return false
+	}
+	s.Stats.StaleDrops++
+	s.obs.staleDrops.Inc()
+	return true
+}
+
+// stamp marks an outgoing packet's payload with the stack's arena and its
+// generation, arming every downstream touch point's stamp check.
+func (s *Stack) stamp(pkt *netsim.Packet, gens []uint64, idx int) {
+	if gens == nil {
+		return
+	}
+	pkt.PayloadOwner = s.arena
+	pkt.PayloadGen = gens[idx]
 }
 
 func (s *Stack) deliver(src netsim.NodeID, payload []byte) {

@@ -45,11 +45,17 @@ type trimNack struct {
 }
 
 type trimSender struct {
-	stack     *Stack
-	dst       netsim.NodeID
-	id        uint32
-	metas     [][]byte
-	data      [][]byte
+	stack *Stack
+	dst   netsim.NodeID
+	id    uint32
+	metas [][]byte
+	data  [][]byte
+	// metaGens/dataGens hold the arena generation stamps of the payload
+	// buffers (nil without an arena); every send re-validates its stamp
+	// before reading, so a NACK-driven or re-blast retransmission can
+	// never read a recycled buffer.
+	metaGens  []uint64
+	dataGens  []uint64
 	metaAcked []bool
 	nMetaAck  int
 	rto       netsim.Time
@@ -69,6 +75,7 @@ func (s *Stack) SendTrimmable(dst netsim.NodeID, id uint32, metas, data [][]byte
 	tx := &trimSender{
 		stack: s, dst: dst, id: id,
 		metas: metas, data: data,
+		metaGens: s.stampGens(metas), dataGens: s.stampGens(data),
 		metaAcked: make([]bool, len(metas)),
 		rto:       s.cfg.RTO,
 		done:      done, failed: failed,
@@ -84,6 +91,9 @@ func (s *Stack) SendTrimmable(dst netsim.NodeID, id uint32, metas, data [][]byte
 }
 
 func (tx *trimSender) sendMeta(idx int) {
+	if tx.stack.staleSend(tx.metaGens, tx.metas[idx], idx) {
+		return
+	}
 	pkt := tx.stack.sim.NewPacket()
 	pkt.Dst = tx.dst
 	pkt.Size = payloadSize(tx.metas[idx])
@@ -95,10 +105,14 @@ func (tx *trimSender) sendMeta(idx int) {
 		MsgID: tx.id, Idx: idx, Total: len(tx.metas),
 		Sum: payloadSum(tx.metas[idx]),
 	}
+	tx.stack.stamp(pkt, tx.metaGens, idx)
 	tx.stack.host.Send(pkt)
 }
 
 func (tx *trimSender) sendData(idx int) {
+	if tx.stack.staleSend(tx.dataGens, tx.data[idx], idx) {
+		return
+	}
 	tx.stack.Stats.DataSent++
 	tx.stack.obs.dataSent.Inc()
 	pkt := tx.stack.sim.NewPacket()
@@ -112,6 +126,7 @@ func (tx *trimSender) sendData(idx int) {
 		MsgID: tx.id, Idx: idx, Total: len(tx.data),
 		Sum: payloadSum(tx.data[idx]),
 	}
+	tx.stack.stamp(pkt, tx.dataGens, idx)
 	tx.stack.host.Send(pkt)
 }
 

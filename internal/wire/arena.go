@@ -18,18 +18,57 @@ import "sync"
 // writers zero-extend, meta fills its entire payload), and the
 // stale-buffer tests in vecmath and wire pin it.
 //
-// Ownership: exactly one owner may Put a buffer, once, and nothing may
-// alias it afterwards. The transport owns sender-side buffers until the
-// message completes (acked or failed); trimmed packets re-slice the same
-// backing array, so a buffer must never be recycled while a trimmed view
-// may still be in flight — see DESIGN.md §11 for the hand-off rules.
+// Ownership: exactly one owner may Put a buffer, once. The transport owns
+// sender-side buffers until the message completes (acked or failed);
+// trimmed packets re-slice the same backing array, so a buffer must never
+// be recycled while a trimmed view may still be in flight — see DESIGN.md
+// §11 for the hand-off rules.
+//
+// Generation stamps (DESIGN.md §16) make that rule enforceable instead of
+// assumed: every registered backing array carries a monotonically
+// increasing generation, bumped each time the buffer actually re-enters
+// the free list. Late touchers — a retransmit path, a reordered delivery,
+// a switch about to mutate a payload — remember the (buffer, generation)
+// pair they were handed and call Valid before reading; a mismatch means
+// the buffer was recycled underneath them and the touch must become a
+// counted stale-drop, never a silent read of someone else's bytes.
+// AddFlight/EndFlight track in-flight references: a Put that races a
+// still-referenced buffer parks it, and the recycle (with its generation
+// bump) completes only when the last flight drains. Under the correct
+// ownership protocol stale drops therefore never fire — the stamps are
+// defense in depth, and the deliberate-violation tests are what exercise
+// them.
 type Arena struct {
 	mu      sync.Mutex
 	classes [arenaClasses][][]byte
 
+	// gens maps a backing array (by the address of its first byte — shared
+	// by every re-slice, including trimmed views) to its stamp state.
+	// Entries are never deleted: a registered buffer stays registered for
+	// the arena's lifetime, so a stale Valid always has a generation to
+	// disagree with.
+	gens map[*byte]*bufState
+
 	// Gets/Hits count lookups and free-list hits (telemetry for tests and
 	// benchmarks; read them only when the arena is quiescent).
 	Gets, Hits uint64
+}
+
+// bufState is the stamp state of one registered backing array.
+type bufState struct {
+	// gen starts at 1 on registration and is bumped once per recycle (the
+	// moment the buffer re-enters a free list), so a stamp taken before a
+	// recycle can never match the live generation afterwards.
+	gen uint64
+	// flights counts in-flight references (packets traversing the fabric).
+	flights int
+	// parked marks a Put that arrived while flights > 0: the recycle is
+	// deferred until the last flight ends, keeping every in-flight alias
+	// readable — and its stamp valid — until it terminates.
+	parked bool
+	// full retains the parked owner's slice so the deferred recycle
+	// re-buckets by the same capacity the Put saw.
+	full []byte
 }
 
 // Size classes cover 32 B .. 64 KiB. Anything larger is handed to the
@@ -83,13 +122,35 @@ func (a *Arena) Get(n int) []byte {
 	return make([]byte, n, 1<<(arenaMinShift+c))
 }
 
-// Put recycles buf. The caller must own buf exclusively: no live aliases,
-// including trimmed re-slices of the same backing array. Foreign buffers
-// (not from Get) are accepted and bucketed by capacity; buffers outside
-// the pooled range are dropped for the GC.
+// Put recycles buf. The caller gives up ownership: it must not touch the
+// buffer afterwards. Foreign buffers (not from Get) are accepted and
+// bucketed by capacity; buffers outside the pooled range are dropped for
+// the GC. If the buffer is registered (stamped) and still has flights in
+// progress, the recycle is parked and completes — generation bump
+// included — when the last EndFlight drains it, so in-flight aliases stay
+// readable until their own terminal points.
 func (a *Arena) Put(buf []byte) {
-	if a == nil || buf == nil {
+	if a == nil || buf == nil || cap(buf) == 0 {
 		return
+	}
+	a.mu.Lock()
+	if st := a.gens[bufKey(buf)]; st != nil && st.flights > 0 {
+		if !st.parked {
+			st.parked = true
+			st.full = buf
+		}
+		a.mu.Unlock()
+		return
+	}
+	a.recycleLocked(buf)
+	a.mu.Unlock()
+}
+
+// recycleLocked pushes buf onto its free list and bumps its generation if
+// registered. Caller holds a.mu.
+func (a *Arena) recycleLocked(buf []byte) {
+	if st := a.gens[bufKey(buf)]; st != nil {
+		st.gen++
 	}
 	c := classFor(cap(buf))
 	// classFor rounds up; only recycle into a class the buffer fully
@@ -100,9 +161,115 @@ func (a *Arena) Put(buf []byte) {
 	if c < 0 || cap(buf) < 1<<arenaMinShift {
 		return
 	}
-	a.mu.Lock()
 	a.classes[c] = append(a.classes[c], buf[:0])
+}
+
+// bufKey is a backing array's identity: the address of its first byte,
+// shared by every re-slice (a trimmed view, a free-list buf[:0]) of the
+// same allocation. Requires cap(buf) ≥ 1.
+func bufKey(buf []byte) *byte { return &buf[:1][0] }
+
+// stateLocked returns buf's stamp state, registering it at generation 1
+// when register is set. Caller holds a.mu.
+func (a *Arena) stateLocked(buf []byte, register bool) *bufState {
+	k := bufKey(buf)
+	st := a.gens[k]
+	if st == nil && register {
+		if a.gens == nil {
+			a.gens = make(map[*byte]*bufState)
+		}
+		st = &bufState{gen: 1}
+		a.gens[k] = st
+	}
+	return st
+}
+
+// GetStamped is Get plus registration: it returns the buffer together
+// with its live generation stamp. Remember the pair; pass it to Valid
+// before any touch that may have been overtaken by a recycle.
+func (a *Arena) GetStamped(n int) ([]byte, uint64) {
+	buf := a.Get(n)
+	return buf, a.GenOf(buf)
+}
+
+// GenOf registers buf (if new) and returns its live generation. It works
+// for any buffer, arena-born or foreign, so a transport can stamp every
+// payload it sends regardless of where the encoder allocated it. A nil
+// arena or an empty buffer has no generation domain and reports 0.
+func (a *Arena) GenOf(buf []byte) uint64 {
+	if a == nil || cap(buf) == 0 {
+		return 0
+	}
+	a.mu.Lock()
+	g := a.stateLocked(buf, true).gen
 	a.mu.Unlock()
+	return g
+}
+
+// Valid reports whether the stamp taken when buf was handed out still
+// matches its live generation — i.e. whether the buffer has not been
+// recycled since. Late touchers call this before reading and treat false
+// as a counted stale-drop. Unstamped cases (nil arena, empty buffer)
+// are trivially valid.
+func (a *Arena) Valid(buf []byte, gen uint64) bool {
+	if a == nil || cap(buf) == 0 {
+		return true
+	}
+	a.mu.Lock()
+	ok := a.stateLocked(buf, true).gen == gen
+	a.mu.Unlock()
+	return ok
+}
+
+// AddFlight records one new in-flight reference to buf (a packet entering
+// the fabric). While flights > 0 a Put parks instead of recycling, so the
+// reference stays readable until its matching EndFlight.
+func (a *Arena) AddFlight(buf []byte) {
+	if a == nil || cap(buf) == 0 {
+		return
+	}
+	a.mu.Lock()
+	a.stateLocked(buf, true).flights++
+	a.mu.Unlock()
+}
+
+// EndFlight retires one in-flight reference (the packet reached its
+// terminal point: delivered, dropped, or absorbed into an aggregate).
+// Draining the last flight completes a parked Put, bumping the generation
+// and recycling the buffer. Unbalanced calls are ignored.
+func (a *Arena) EndFlight(buf []byte) {
+	if a == nil || cap(buf) == 0 {
+		return
+	}
+	a.mu.Lock()
+	st := a.stateLocked(buf, false)
+	if st == nil || st.flights == 0 {
+		a.mu.Unlock()
+		return
+	}
+	st.flights--
+	if st.flights == 0 && st.parked {
+		st.parked = false
+		full := st.full
+		st.full = nil
+		a.recycleLocked(full)
+	}
+	a.mu.Unlock()
+}
+
+// Flights returns buf's live in-flight reference count (telemetry for the
+// ownership tests; 0 for unregistered buffers).
+func (a *Arena) Flights(buf []byte) int {
+	if a == nil || cap(buf) == 0 {
+		return 0
+	}
+	a.mu.Lock()
+	n := 0
+	if st := a.stateLocked(buf, false); st != nil {
+		n = st.flights
+	}
+	a.mu.Unlock()
+	return n
 }
 
 // PutAll recycles every buffer in bufs and the spine itself is left to

@@ -1,0 +1,224 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fillPat overwrites buf with a recognizable per-handle pattern.
+func fillPat(buf []byte, pat byte) {
+	for i := range buf {
+		buf[i] = pat ^ byte(i)
+	}
+}
+
+func checkPat(buf []byte, pat byte) bool {
+	for i := range buf {
+		if buf[i] != pat^byte(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestArenaGenerationLifecycle pins the §16 stamp protocol at the unit
+// level: a stamp is valid from Get until the actual recycle, a recycle
+// bumps the generation exactly once, and re-handing the buffer out issues
+// a fresh stamp the old holder can never match.
+func TestArenaGenerationLifecycle(t *testing.T) {
+	a := NewArena()
+	buf, gen := a.GetStamped(64)
+	if gen == 0 {
+		t.Fatal("GetStamped returned the zero generation")
+	}
+	if !a.Valid(buf, gen) {
+		t.Fatal("fresh stamp invalid")
+	}
+	a.Put(buf) // no flights: recycles immediately, bumping the generation
+	if a.Valid(buf, gen) {
+		t.Fatal("stamp still valid after recycle")
+	}
+	buf2, gen2 := a.GetStamped(64)
+	if &buf2[0] != &buf[0] {
+		t.Fatal("free list did not hand the buffer back")
+	}
+	if gen2 != gen+1 {
+		t.Fatalf("generation after one recycle = %d, want %d", gen2, gen+1)
+	}
+	if !a.Valid(buf2, gen2) || a.Valid(buf, gen) {
+		t.Fatal("new stamp must validate, old must not")
+	}
+
+	// Foreign buffers register on first GenOf and behave identically.
+	foreign := make([]byte, 48)
+	fg := a.GenOf(foreign)
+	if fg != 1 || !a.Valid(foreign, fg) {
+		t.Fatalf("foreign registration: gen %d valid %v", fg, a.Valid(foreign, fg))
+	}
+
+	// Nil arena and empty buffers are the unstamped domain: gen 0,
+	// trivially valid.
+	var nilA *Arena
+	if nilA.GenOf(buf) != 0 || !nilA.Valid(buf, 0) {
+		t.Fatal("nil arena must report gen 0 / always-valid")
+	}
+	if a.GenOf(nil) != 0 || !a.Valid(nil, 0) {
+		t.Fatal("empty buffer must report gen 0 / always-valid")
+	}
+}
+
+// TestArenaParkedPut pins flight gating: a Put racing in-flight references
+// parks — the stamp stays valid and the bytes stay untouched — and the
+// recycle (generation bump included) completes at the last EndFlight.
+func TestArenaParkedPut(t *testing.T) {
+	a := NewArena()
+	buf, gen := a.GetStamped(64)
+	fillPat(buf, 0x5A)
+	a.AddFlight(buf)
+	a.AddFlight(buf)
+	a.Put(buf) // parked: two flights outstanding
+	if !a.Valid(buf, gen) {
+		t.Fatal("parked Put must not invalidate in-flight stamps")
+	}
+	if got := a.Get(64); &got[0] == &buf[0] {
+		t.Fatal("parked buffer leaked into the free list")
+	}
+	if !checkPat(buf, 0x5A) {
+		t.Fatal("parked buffer bytes changed")
+	}
+	a.EndFlight(buf)
+	if !a.Valid(buf, gen) || a.Flights(buf) != 1 {
+		t.Fatalf("after first EndFlight: valid %v flights %d", a.Valid(buf, gen), a.Flights(buf))
+	}
+	a.EndFlight(buf) // last flight: parked recycle completes
+	if a.Valid(buf, gen) {
+		t.Fatal("stamp survived the deferred recycle")
+	}
+	// The deferred recycle must land in the free list at full capacity.
+	got := a.Get(64)
+	if &got[0] != &buf[0] {
+		t.Fatal("deferred recycle did not reach the free list")
+	}
+
+	// Unbalanced EndFlight on a quiescent buffer is a no-op.
+	a.EndFlight(got)
+	g2 := a.GenOf(got)
+	a.EndFlight(got)
+	if !a.Valid(got, g2) {
+		t.Fatal("unbalanced EndFlight disturbed a quiescent buffer")
+	}
+}
+
+// TestArenaDeliberateViolation reproduces the ownership violation the
+// stamps exist to catch: an unbalanced extra EndFlight force-drains a
+// parked Put, recycling the buffer under a live reference. The stale
+// holder's Valid must flip to false before any reuse can tear its bytes.
+func TestArenaDeliberateViolation(t *testing.T) {
+	a := NewArena()
+	buf, gen := a.GetStamped(64)
+	fillPat(buf, 0x11)
+	a.AddFlight(buf)
+	a.Put(buf) // parked behind the one flight
+
+	// The violation: some other actor (not the flight holder) retires the
+	// flight it never owned.
+	a.EndFlight(buf)
+
+	if a.Valid(buf, gen) {
+		t.Fatal("stamp valid after a forced recycle — use-after-free undetected")
+	}
+	// The recycled buffer is handed to a new owner, who dirties it. The
+	// stale holder's stamp already failed, so it never reads the torn bytes.
+	buf2, gen2 := a.GetStamped(64)
+	if &buf2[0] != &buf[0] {
+		t.Fatal("expected the forced recycle to reach the free list")
+	}
+	fillPat(buf2, 0xEE)
+	if !a.Valid(buf2, gen2) {
+		t.Fatal("new owner's stamp must be valid")
+	}
+	if a.Valid(buf, gen) {
+		t.Fatal("stale stamp resurrected by reuse")
+	}
+}
+
+// FuzzArenaGeneration drives random Get/Put/AddFlight/EndFlight/stale-touch
+// interleavings — including deliberately unbalanced EndFlights — and
+// asserts the §16 safety property: whenever a holder's stamp still
+// validates, the buffer holds exactly the bytes that holder wrote. A torn
+// read with a valid stamp is the corruption class the stamps must make
+// impossible.
+func FuzzArenaGeneration(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{0, 0, 10, 20, 3, 3, 30, 1, 2, 2, 2, 40, 0, 15})
+	f.Add(bytes.Repeat([]byte{0, 3, 1, 2, 4}, 20))
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		a := NewArena()
+		type handle struct {
+			buf     []byte
+			gen     uint64
+			pat     byte
+			flights int
+			put     bool
+		}
+		var hs []*handle
+		live := func(i byte) *handle {
+			if len(hs) == 0 {
+				return nil
+			}
+			return hs[int(i)%len(hs)]
+		}
+		pat := byte(1)
+		for i := 0; i+1 < len(ops) && len(hs) < 64; i += 2 {
+			op, arg := ops[i]%6, ops[i+1]
+			switch op {
+			case 0: // Get a fresh stamped buffer and pattern-fill it
+				n := 16 + int(arg)%113
+				buf, gen := a.GetStamped(n)
+				fillPat(buf, pat)
+				hs = append(hs, &handle{buf: buf, gen: gen, pat: pat})
+				pat += 3
+			case 1: // AddFlight through a holder whose stamp is still live
+				if h := live(arg); h != nil && !h.put && a.Valid(h.buf, h.gen) {
+					a.AddFlight(h.buf)
+					h.flights++
+				}
+			case 2: // balanced EndFlight
+				if h := live(arg); h != nil && h.flights > 0 {
+					a.EndFlight(h.buf)
+					h.flights--
+				}
+			case 3: // owner releases
+				if h := live(arg); h != nil && !h.put {
+					h.put = true
+					a.Put(h.buf)
+				}
+			case 4: // VIOLATION: unbalanced EndFlight from a non-owner
+				if h := live(arg); h != nil {
+					a.EndFlight(h.buf)
+				}
+			case 5: // stale-touch: valid stamp ⇒ bytes intact, never torn
+				if h := live(arg); h != nil {
+					if a.Valid(h.buf, h.gen) {
+						if !checkPat(h.buf, h.pat) {
+							t.Fatalf("op %d: stamp valid but payload torn (pat %#x)", i, h.pat)
+						}
+					} else if h.flights > 0 && !h.put {
+						// Stale while we believed we held flights: only the
+						// deliberate violation (op 4) can cause this; it is
+						// the counted-stale-drop path, and the point is that
+						// Valid flagged it before we read torn bytes.
+						h.flights = 0
+					}
+				}
+			}
+		}
+		// Epilogue: every holder whose stamp still validates must still see
+		// its own bytes.
+		for _, h := range hs {
+			if a.Valid(h.buf, h.gen) && !checkPat(h.buf, h.pat) {
+				t.Fatalf("epilogue: stamp valid but payload torn (pat %#x)", h.pat)
+			}
+		}
+	})
+}

@@ -161,16 +161,29 @@ func checksum(b []byte) uint32 {
 // Row/Start/Seed/geometry is rejected instead of silently decoding
 // coordinates into the wrong place.
 func headerChecksum(buf []byte, region []byte) uint32 {
-	// Normalize the flags byte in place for the duration of the CRC and
-	// restore it after: crc32's accelerated castagnoli path defeats
-	// escape analysis, so hashing a stack-local copy of the byte would
-	// heap-allocate on every packet.
-	saved := buf[offFlags]
-	buf[offFlags] = saved &^ FlagTrimmed
-	c := crc32.Update(0, castagnoli, buf[:offHeadCRC])
-	buf[offFlags] = saved
+	// The flags byte is normalized through a static lookup table instead of
+	// an in-place rewrite: headerChecksum runs on received payloads that may
+	// be zero-copy aliases of a sender's stamped arena buffer (DESIGN.md
+	// §16), so even a transient write here would race a concurrent
+	// retransmit read on another shard. A stack-local copy of the byte is
+	// not an option either — crc32's accelerated castagnoli path defeats
+	// escape analysis and would heap-allocate on every packet; slicing the
+	// package-level table allocates nothing.
+	c := crc32.Update(0, castagnoli, buf[:offFlags])
+	c = crc32.Update(c, castagnoli, normFlags[buf[offFlags]][:])
+	c = crc32.Update(c, castagnoli, buf[offFlags+1:offHeadCRC])
 	return crc32.Update(c, castagnoli, region)
 }
+
+// normFlags[b] holds b with FlagTrimmed cleared, as a one-byte array so
+// headerChecksum can hash the normalized flags byte without writing to the
+// packet or allocating.
+var normFlags = func() (t [256][1]byte) {
+	for i := range t {
+		t[i][0] = byte(i) &^ FlagTrimmed
+	}
+	return t
+}()
 
 // Trim performs the switch-side trim operation on a raw packet buffer,
 // returning the trimmed packet (a re-sliced view of buf with the Trimmed

@@ -6,7 +6,9 @@
 #   scripts/check.sh -short   fast mode: skips the race-detector pass and
 #                             runs the test suite with -short
 #   scripts/check.sh -chaos   fault-injection pass only: race-enabled chaos,
-#                             fault, and duplicate-delivery regression tests
+#                             fault, and duplicate-delivery regression tests,
+#                             plus the stamped-arena suites (aliasing faults,
+#                             counted stale drops, copy-vs-arena bit-identity)
 #   scripts/check.sh -bench   perf smoke only: the BenchmarkHot* suite,
 #                             the BenchmarkFabric* fast-path suite (wheel,
 #                             pooled hops, and the k=4 fat-tree incast),
@@ -49,6 +51,9 @@ if [[ $mode == chaos ]]; then
   step "go test -race (chaos/fault/duplicate regressions)"
   go test -race -run 'Chaos|Fault|Flap|Duplicate|PauseAndFail' \
     ./internal/netsim ./internal/transport ./internal/collective ./internal/exp
+  step "go test -race (stamped-arena suites: aliasing faults, stale drops, bit-identity)"
+  go test -race -run 'Arena' -count=1 \
+    ./internal/wire ./internal/netsim ./internal/transport
   echo "OK (chaos pass)"
   exit 0
 fi
